@@ -1,0 +1,56 @@
+GO ?= go
+
+.PHONY: all build vet test race bench fuzz cover examples experiments clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Regenerates every table and figure of the paper (see EXPERIMENTS.md).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+fuzz:
+	$(GO) test -fuzz FuzzDecodeRoCEv2 -fuzztime 30s ./internal/wire/
+	$(GO) test -fuzz FuzzDecodeIPv4 -fuzztime 30s ./internal/wire/
+	$(GO) test -fuzz FuzzDecodePFC -fuzztime 30s ./internal/wire/
+
+cover:
+	$(GO) test -cover ./...
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/clos-deadlock
+	$(GO) run ./examples/jellyfish-scale
+	$(GO) run ./examples/bcube
+	$(GO) run ./examples/controller-ops
+
+experiments:
+	$(GO) run ./cmd/taggergen -topo fig5 -rules
+	$(GO) run ./cmd/taggersim -exp fig10
+	$(GO) run ./cmd/taggersim -exp fig11
+	$(GO) run ./cmd/taggersim -exp fig12
+	$(GO) run ./cmd/taggersim -exp reconverge
+	$(GO) run ./cmd/taggersim -exp table1
+	$(GO) run ./cmd/taggersim -exp overhead
+	$(GO) run ./cmd/taggersim -exp recovery
+	$(GO) run ./cmd/taggersim -exp dcqcn
+	$(GO) run ./cmd/taggersim -exp isolation
+	$(GO) run ./cmd/taggersim -exp budget
+	$(GO) run ./cmd/taggersim -exp compression
+	$(GO) run ./cmd/taggersim -exp multiclass
+	$(GO) run ./cmd/taggerscale
+	$(GO) run ./cmd/taggerscale -bcube
+
+clean:
+	$(GO) clean -testcache

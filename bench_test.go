@@ -1,0 +1,383 @@
+package tagger
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// bench both times the artifact's regeneration and reports the headline
+// quantity as a custom metric, so `go test -bench=. -benchmem` doubles as
+// the reproduction harness (see EXPERIMENTS.md for paper-vs-measured).
+
+import (
+	"testing"
+
+	"repro/internal/cbd"
+	"repro/internal/core"
+	"repro/internal/dataplane"
+	"repro/internal/elp"
+	"repro/internal/paper"
+	"repro/internal/routing"
+	"repro/internal/tcam"
+	"repro/internal/wire"
+)
+
+// --- Table 1: reroute probability -------------------------------------------
+
+func BenchmarkTable1RerouteMeasurement(b *testing.B) {
+	var p float64
+	for i := 0; i < b.N; i++ {
+		res := Table1(1, 200_000)
+		p = res.OverallProbability()
+	}
+	b.ReportMetric(p, "reroute-prob")
+}
+
+// --- Tables 3/4 + Figure 5: the walk-through ---------------------------------
+
+func BenchmarkTable3BruteForceRules(b *testing.B) {
+	f := paper.NewFig5()
+	var rules int
+	for i := 0; i < b.N; i++ {
+		sys, err := core.Synthesize(f.Graph, f.ELP.Paths(), core.Options{SkipMerge: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rules = sys.Rules.Len()
+	}
+	b.ReportMetric(float64(rules), "rules")
+}
+
+func BenchmarkTable4GreedyRules(b *testing.B) {
+	f := paper.NewFig5()
+	var rules, tags int
+	for i := 0; i < b.N; i++ {
+		sys, err := core.Synthesize(f.Graph, f.ELP.Paths(), core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rules = sys.Rules.Len()
+		tags = sys.Runtime.NumSwitchTags()
+	}
+	b.ReportMetric(float64(rules), "rules")
+	b.ReportMetric(float64(tags), "tags")
+}
+
+func BenchmarkFigure5Algorithm1(b *testing.B) {
+	f := paper.NewFig5()
+	var tags int
+	for i := 0; i < b.N; i++ {
+		bf := core.BruteForce(f.Graph, f.ELP.Paths())
+		tags = bf.NumSwitchTags()
+	}
+	b.ReportMetric(float64(tags), "tags")
+}
+
+func BenchmarkFigure5Algorithm2(b *testing.B) {
+	f := paper.NewFig5()
+	bf := core.BruteForce(f.Graph, f.ELP.Paths())
+	var tags int
+	for i := 0; i < b.N; i++ {
+		merged := core.GreedyMinimize(bf)
+		tags = merged.NumSwitchTags()
+	}
+	b.ReportMetric(float64(tags), "tags")
+}
+
+// --- Table 5: Jellyfish scalability -------------------------------------------
+
+func benchTable5(b *testing.B, switches, ports, extra int) {
+	b.Helper()
+	var row Table5Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		row, err = Table5Case(switches, ports, extra, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(row.Priorities), "priorities")
+	b.ReportMetric(float64(row.Rules), "max-rules")
+	b.ReportMetric(float64(row.LongestLossless), "longest")
+}
+
+func BenchmarkTable5Jellyfish50(b *testing.B)  { benchTable5(b, 50, 12, 0) }
+func BenchmarkTable5Jellyfish100(b *testing.B) { benchTable5(b, 100, 16, 0) }
+func BenchmarkTable5Jellyfish200(b *testing.B) { benchTable5(b, 200, 24, 0) }
+func BenchmarkTable5JellyfishRandomPaths(b *testing.B) {
+	benchTable5(b, 100, 16, 10000)
+}
+
+// --- Figure 1 / Figure 3: CBD detection ----------------------------------------
+
+func BenchmarkFigure3CBDDetect(b *testing.B) {
+	c := paper.Testbed()
+	paths := []routing.Path{paper.Fig3GreenPath(c), paper.Fig3BluePath(c)}
+	var cyc int
+	for i := 0; i < b.N; i++ {
+		d := cbd.FromPaths(c.Graph, paths, cbd.SinglePriority(1))
+		cyc = len(d.FindCycle())
+	}
+	b.ReportMetric(float64(cyc), "cycle-len")
+}
+
+func BenchmarkFigure3CBDUnderTagger(b *testing.B) {
+	c := paper.Testbed()
+	rs := core.ClosRules(c.Graph, 1, 1)
+	paths := []routing.Path{paper.Fig3GreenPath(c), paper.Fig3BluePath(c)}
+	classify := func(p routing.Path) []int { return rs.Priorities(p, 1) }
+	var cyc int
+	for i := 0; i < b.N; i++ {
+		d := cbd.FromPaths(c.Graph, paths, classify)
+		cyc = len(d.FindCycle())
+	}
+	b.ReportMetric(float64(cyc), "cycle-len") // 0: Tagger breaks the CBD
+}
+
+// --- Figure 4 / Figure 6: Clos tagging -----------------------------------------
+
+func BenchmarkFigure4ClosSynthesis(b *testing.B) {
+	c := paper.Testbed()
+	set := elp.KBounce(c.Graph, c.ToRs, 1, nil)
+	var queues int
+	for i := 0; i < b.N; i++ {
+		sys, err := core.ClosSynthesize(c.Graph, set.Paths(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		queues = sys.NumLosslessQueues()
+	}
+	b.ReportMetric(float64(queues), "queues")
+}
+
+func BenchmarkFigure6GreedyVsOptimal(b *testing.B) {
+	var res Figure6Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = Figure6()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.GreedyQueues), "greedy-queues")
+	b.ReportMetric(float64(res.OptimalQueues), "optimal-queues")
+}
+
+// --- Figures 10-12: simulator experiments ---------------------------------------
+
+func benchFigure(b *testing.B, run func(bool) ExperimentResult, withTagger bool) {
+	b.Helper()
+	var res ExperimentResult
+	for i := 0; i < b.N; i++ {
+		res = run(withTagger)
+	}
+	dl := 0.0
+	if res.Deadlocked {
+		dl = 1
+	}
+	var late float64
+	for _, f := range res.Flows {
+		late += f.LateGbps
+	}
+	b.ReportMetric(dl, "deadlocked")
+	b.ReportMetric(late, "late-gbps")
+}
+
+func BenchmarkFigure10Baseline(b *testing.B)   { benchFigure(b, Figure10, false) }
+func BenchmarkFigure10WithTagger(b *testing.B) { benchFigure(b, Figure10, true) }
+func BenchmarkFigure11Baseline(b *testing.B)   { benchFigure(b, Figure11, false) }
+func BenchmarkFigure11WithTagger(b *testing.B) { benchFigure(b, Figure11, true) }
+func BenchmarkFigure12Baseline(b *testing.B)   { benchFigure(b, Figure12, false) }
+func BenchmarkFigure12WithTagger(b *testing.B) { benchFigure(b, Figure12, true) }
+
+// --- §8 overhead -------------------------------------------------------------------
+
+func BenchmarkTaggerOverhead(b *testing.B) {
+	var res OverheadResult
+	for i := 0; i < b.N; i++ {
+		res = Overhead()
+	}
+	b.ReportMetric(res.PenaltyPercent(), "penalty-%")
+	b.ReportMetric(res.BaselineGbps, "baseline-gbps")
+}
+
+// --- §5.3 Algorithm 2 runtime scaling (S1) -------------------------------------------
+
+func benchAlg2(b *testing.B, switches, ports int) {
+	b.Helper()
+	j, err := NewJellyfish(JellyfishConfig{Switches: switches, Ports: ports, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	set := elp.ShortestAll(j.Graph, j.Switches)
+	bf := core.BruteForce(j.Graph, set.Paths())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.GreedyMinimize(bf)
+	}
+}
+
+func BenchmarkAlgorithm2Jellyfish50(b *testing.B)  { benchAlg2(b, 50, 12) }
+func BenchmarkAlgorithm2Jellyfish100(b *testing.B) { benchAlg2(b, 100, 16) }
+func BenchmarkAlgorithm2Jellyfish200(b *testing.B) { benchAlg2(b, 200, 24) }
+
+// --- §6 multi-class (S2) ---------------------------------------------------------------
+
+func BenchmarkMultiClassComposition(b *testing.B) {
+	var res MultiClassResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = MultiClass(2, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.SharedQueues), "shared-queues")
+	b.ReportMetric(float64(res.NaiveQueues), "naive-queues")
+}
+
+// --- §7 rule compression (S3) -------------------------------------------------------------
+
+func BenchmarkRuleCompression(b *testing.B) {
+	c := paper.Testbed()
+	rs := core.ClosRules(c.Graph, 1, 1)
+	rules := rs.Rules()
+	var entries int
+	for i := 0; i < b.N; i++ {
+		entries = len(CompressRules(rules))
+	}
+	b.ReportMetric(float64(len(rules)), "exact-rules")
+	b.ReportMetric(float64(entries), "tcam-entries")
+}
+
+// --- BCube (§5.3) ------------------------------------------------------------------------
+
+func BenchmarkBCubeSynthesis(b *testing.B) {
+	var tags int
+	for i := 0; i < b.N; i++ {
+		var err error
+		tags, err = BCubeTags(4, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tags), "tags")
+}
+
+// --- Prevention vs detect-and-break recovery (related-work baseline) -----------------------
+
+func BenchmarkRecoveryVsTagger(b *testing.B) {
+	var res RecoveryComparison
+	for i := 0; i < b.N; i++ {
+		res = CompareRecovery()
+	}
+	b.ReportMetric(float64(res.RecoveryDetections), "reformations")
+	b.ReportMetric(res.RecoveryGoodputGbps, "recovery-gbps")
+	b.ReportMetric(res.TaggerGoodputGbps, "tagger-gbps")
+}
+
+// --- DCQCN interaction (§6) -------------------------------------------------------------
+
+func BenchmarkDCQCNInteraction(b *testing.B) {
+	var res DCQCNResult
+	for i := 0; i < b.N; i++ {
+		res = DCQCNExperiment()
+	}
+	b.ReportMetric(float64(res.PausesWithoutCC), "pauses-no-cc")
+	b.ReportMetric(float64(res.PausesWithCC), "pauses-cc")
+}
+
+// --- §3.3 queue budget --------------------------------------------------------------------
+
+func BenchmarkQueueBudget(b *testing.B) {
+	var rows []QueueBudgetRow
+	for i := 0; i < b.N; i++ {
+		rows = QueueBudget()
+	}
+	b.ReportMetric(float64(rows[0].MaxLossless), "queues-40g")
+	b.ReportMetric(float64(rows[1].MaxLossless), "queues-100g")
+}
+
+// --- §7 compression levels -------------------------------------------------------------------
+
+func BenchmarkCompressionLevels(b *testing.B) {
+	var lv tcam.CompressionLevels
+	for i := 0; i < b.N; i++ {
+		lv = CompressionAblation()
+	}
+	b.ReportMetric(float64(lv.Exact), "exact")
+	b.ReportMetric(float64(lv.InPortOnly), "inport-only")
+	b.ReportMetric(float64(lv.Joint), "joint")
+}
+
+// --- §6 isolation trade-off ----------------------------------------------------------------
+
+func BenchmarkIsolationCost(b *testing.B) {
+	var res IsolationResult
+	for i := 0; i < b.N; i++ {
+		res = IsolationCost()
+	}
+	b.ReportMetric(res.VictimCleanGbps, "victim-clean-gbps")
+	b.ReportMetric(res.VictimMixedGbps, "victim-mixed-gbps")
+}
+
+// --- Organic failure reconvergence (§3 end to end) --------------------------------------------
+
+func BenchmarkReconvergenceBaseline(b *testing.B) {
+	var res ExperimentResult
+	for i := 0; i < b.N; i++ {
+		res = Reconvergence(false, 8)
+	}
+	dl := 0.0
+	if res.Deadlocked {
+		dl = 1
+	}
+	b.ReportMetric(dl, "deadlocked")
+}
+
+func BenchmarkReconvergenceWithTagger(b *testing.B) {
+	var res ExperimentResult
+	for i := 0; i < b.N; i++ {
+		res = Reconvergence(true, 8)
+	}
+	dl := 0.0
+	if res.Deadlocked {
+		dl = 1
+	}
+	var late float64
+	for _, f := range res.Flows {
+		late += f.LateGbps
+	}
+	b.ReportMetric(dl, "deadlocked")
+	b.ReportMetric(late, "late-gbps")
+}
+
+// --- Frame-level dataplane -------------------------------------------------------------------
+
+func BenchmarkDataplaneFrameForward(b *testing.B) {
+	c := paper.Testbed()
+	rs := core.ClosRules(c.Graph, 1, 1)
+	fab := dataplane.Compile(c.Graph, rs)
+	green := paper.Fig3GreenPath(c)
+	pkt := &wire.RoCEv2Packet{
+		IP:  wire.IPv4{DSCP: 1, TTL: 64},
+		BTH: wire.BTH{Opcode: wire.OpcodeRCWriteOnly},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Encode + full 6-hop pipeline walk: the cost a software
+		// forwarder would pay per packet.
+		frame := wire.EncodeRoCEv2(pkt)
+		if _, err := fab.ForwardFrame(frame, green); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Simulator raw throughput --------------------------------------------------------------
+
+func BenchmarkSimulatorPacketRate(b *testing.B) {
+	c := paper.Testbed()
+	for i := 0; i < b.N; i++ {
+		tb := routing.ComputeToHosts(c.Graph, routing.UpDown)
+		n := NewSimulation(c.Graph, tb, DefaultSimConfig())
+		n.AddFlow(FlowSpec{Name: "x", Src: c.Hosts[0], Dst: c.Hosts[8]})
+		n.Run(5_000_000) // 5 ms of simulated 40G traffic
+	}
+}

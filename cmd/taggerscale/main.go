@@ -1,0 +1,91 @@
+// Command taggerscale reproduces the scalability evaluation: Table 5's
+// Jellyfish sweep (priorities and TCAM entries vs size) plus the BCube
+// and Clos tag counts.
+//
+// Usage:
+//
+//	taggerscale                         # the default Table 5 sweep
+//	taggerscale -switches 500 -ports 24 # one custom Jellyfish point
+//	taggerscale -switches 500 -random 10000
+//	taggerscale -bcube                  # BCube levels vs tags
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	tagger "repro"
+	"repro/internal/metrics"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("taggerscale: ")
+
+	var (
+		switches = flag.Int("switches", 0, "custom Jellyfish switch count (0 = default sweep)")
+		ports    = flag.Int("ports", 24, "custom Jellyfish ports per switch")
+		random   = flag.Int("random", 0, "extra random ELP paths")
+		seed     = flag.Int64("seed", 1, "Jellyfish seed")
+		bcube    = flag.Bool("bcube", false, "run the BCube tag-count sweep instead")
+		fattree  = flag.Bool("fattree", false, "run the fat-tree sweep instead")
+	)
+	flag.Parse()
+
+	if *fattree {
+		t := metrics.NewTable("k", "Switches", "Hosts", "ELP", "Queues", "TCAM max/switch")
+		for _, k := range []int{4, 6, 8} {
+			ft, err := tagger.NewFatTree(k)
+			if err != nil {
+				log.Fatal(err)
+			}
+			set := tagger.ELPFromKBounce(ft.Graph, ft.Edges, 1)
+			sys, err := tagger.SynthesizeFatTree(ft, set, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			entries := tagger.CompressRules(sys.Rules.Rules())
+			t.AddRow(k, len(ft.Graph.Switches()), len(ft.Hosts), set.Len(),
+				sys.NumLosslessQueues(), tagger.MaxEntriesPerSwitch(entries))
+		}
+		fmt.Print(t.String())
+		fmt.Println("bounce-counting needs 2 lossless queues at every fat-tree scale")
+		return
+	}
+
+	if *bcube {
+		t := metrics.NewTable("BCube(n,k)", "Servers", "Levels", "Tags")
+		for _, c := range []struct{ n, k int }{{4, 1}, {2, 2}, {8, 1}} {
+			tags, err := tagger.BCubeTags(c.n, c.k)
+			if err != nil {
+				log.Fatal(err)
+			}
+			servers := 1
+			for i := 0; i <= c.k; i++ {
+				servers *= c.n
+			}
+			t.AddRow(fmt.Sprintf("BCube(%d,%d)", c.n, c.k), servers, c.k+1, tags)
+		}
+		fmt.Print(t.String())
+		fmt.Println("paper: a k-level BCube with default routing needs k tags")
+		return
+	}
+
+	if *switches > 0 {
+		row, err := tagger.Table5Case(*switches, *ports, *random, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := tagger.Table5Result{Rows: []tagger.Table5Row{row}}
+		fmt.Print(res.String())
+		return
+	}
+
+	res, err := tagger.Table5()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.String())
+	fmt.Println("paper Table 5: 3 lossless priorities suffice up to 2,000 switches")
+}

@@ -1,0 +1,148 @@
+// Command taggersim runs the paper's testbed experiments in the packet
+// simulator and prints the flow-rate series and deadlock diagnosis.
+//
+// Usage:
+//
+//	taggersim -exp fig10            # 1-bounce deadlock (Figure 10)
+//	taggersim -exp fig11            # routing loop (Figure 11)
+//	taggersim -exp fig12            # PAUSE propagation (Figure 12)
+//	taggersim -exp table1 -days 7   # reroute measurement (Table 1)
+//	taggersim -exp overhead         # §8 performance penalty
+//
+// Each figure experiment runs twice — without and with Tagger — matching
+// the paper's paired plots.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	tagger "repro"
+	"repro/internal/metrics"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("taggersim: ")
+
+	var (
+		exp    = flag.String("exp", "fig10", "experiment: fig10, fig11, fig12, table1, overhead, multiclass, recovery, dcqcn, budget, compression, isolation, reconverge")
+		days   = flag.Int("days", 7, "table1: days to simulate")
+		perDay = flag.Int64("per-day", 1_000_000, "table1: measurements per day")
+		trace  = flag.String("trace", "", "write a JSONL event trace of figure experiments to this file")
+	)
+	flag.Parse()
+
+	switch *exp {
+	case "fig10", "fig11", "fig12":
+		run := map[string]func(bool) tagger.ExperimentResult{
+			"fig10": tagger.Figure10,
+			"fig11": tagger.Figure11,
+			"fig12": tagger.Figure12,
+		}[*exp]
+		if *trace != "" {
+			f, err := os.Create(*trace)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			fmt.Printf("=== %s WITHOUT Tagger (traced to %s) ===\n", *exp, *trace)
+			res, err := tagger.FigureTraced(*exp, false, f)
+			if err != nil {
+				log.Fatal(err)
+			}
+			printExperiment(res)
+			break
+		}
+		fmt.Printf("=== %s WITHOUT Tagger ===\n", *exp)
+		printExperiment(run(false))
+		fmt.Printf("\n=== %s WITH Tagger (k=1) ===\n", *exp)
+		printExperiment(run(true))
+	case "table1":
+		res := tagger.Table1(*days, *perDay)
+		fmt.Print(res.String())
+		fmt.Printf("overall reroute probability: %.2e (paper: ~3e-5)\n", res.OverallProbability())
+	case "overhead":
+		res := tagger.Overhead()
+		fmt.Printf("baseline aggregate goodput: %.1f Gbps (worst-flow P99 latency %v)\n",
+			res.BaselineGbps, res.BaselineP99)
+		fmt.Printf("with Tagger rules:          %.1f Gbps (worst-flow P99 latency %v)\n",
+			res.TaggerGbps, res.TaggerP99)
+		fmt.Printf("penalty:                    %.2f%% (paper: negligible)\n", res.PenaltyPercent())
+	case "isolation":
+		res := tagger.IsolationCost()
+		fmt.Printf("§6 shared-tag isolation trade-off:\n")
+		fmt.Printf("  class-2 victim with class-1 on healthy route: %.1f Gbps\n", res.VictimCleanGbps)
+		fmt.Printf("  class-2 victim with class-1 bounced into its priority: %.1f Gbps\n", res.VictimMixedGbps)
+		fmt.Printf("  cost: %.0f%% while the bounce persists (paper: acceptable, bounces are rare)\n",
+			res.CostPercent())
+	case "multiclass":
+		res, err := tagger.MultiClass(2, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%d classes, %d bounces: shared tags need %d queues, naive composition %d\n",
+			res.Classes, res.Bounces, res.SharedQueues, res.NaiveQueues)
+	case "recovery":
+		res := tagger.CompareRecovery()
+		fmt.Printf("detect-and-break recovery on the Figure 10 scenario:\n")
+		fmt.Printf("  deadlock reformed %d times; %d lossless packets sacrificed\n",
+			res.RecoveryDetections, res.RecoveryPacketsDropped)
+		fmt.Printf("  goodput: recovery %.1f Gbps vs Tagger %.1f Gbps\n",
+			res.RecoveryGoodputGbps, res.TaggerGoodputGbps)
+		fmt.Println("paper §1: recovery \"cannot guarantee that the deadlock would not immediately reappear\"")
+	case "dcqcn":
+		res := tagger.DCQCNExperiment()
+		fmt.Printf("incast PAUSE frames: %d without congestion control, %d with DCQCN\n",
+			res.PausesWithoutCC, res.PausesWithCC)
+		fmt.Printf("incast goodput with DCQCN: %.1f Gbps\n", res.GoodputGbps)
+		fmt.Printf("Tagger + DCQCN on the Fig 10 scenario clean: %v\n", res.TaggerCleanWith)
+	case "budget":
+		fmt.Println("lossless queue budget per ASIC generation (§3.3):")
+		for _, r := range tagger.QueueBudget() {
+			fmt.Printf("  %-14s %4.0f MB buffer, %d x %dG: %d lossless queues (%d KB/queue/port)\n",
+				r.Name, r.BufferMB, r.Ports, r.GbpsPerPort, r.MaxLossless, r.PerQueueBytes>>10)
+		}
+		fmt.Println("paper: \"even newest switching ASICs are not expected to support more than four\"")
+	case "reconverge":
+		fmt.Println("organic failure handling (no pinned paths): fail L1-T1 and L3-T4 at 5ms,")
+		fmt.Println("local fast-reroute detours + stale upstream routes, global convergence at 15ms")
+		fmt.Println()
+		fmt.Println("=== WITHOUT Tagger ===")
+		printExperiment(tagger.Reconvergence(false, 8))
+		fmt.Println()
+		fmt.Println("=== WITH Tagger (k=1) ===")
+		printExperiment(tagger.Reconvergence(true, 8))
+	case "compression":
+		lv := tagger.CompressionAblation()
+		fmt.Printf("testbed rule set compression (§7/Figure 9):\n")
+		fmt.Printf("  exact rules:          %d\n", lv.Exact)
+		fmt.Printf("  InPort bitmaps only:  %d\n", lv.InPortOnly)
+		fmt.Printf("  joint aggregation:    %d\n", lv.Joint)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func printExperiment(res tagger.ExperimentResult) {
+	if res.Deadlocked {
+		fmt.Printf("DEADLOCK detected; pause-wait cycle:\n")
+		for _, e := range res.Cycle {
+			fmt.Printf("  %s\n", e)
+		}
+	} else {
+		fmt.Println("no deadlock")
+	}
+	fmt.Printf("drops: %+v\n", res.Drops)
+	fmt.Println("per-flow delivered rate over time (each char = 1 ms, full block = 40 Gbps):")
+	for _, f := range res.Flows {
+		vals := make([]float64, len(f.Points))
+		for i, p := range f.Points {
+			vals[i] = p.Gbps
+		}
+		fmt.Printf("  %-8s %s  late: %5.1f Gbps\n", f.Name, metrics.Sparkline(vals, 40), f.LateGbps)
+	}
+}

@@ -1,0 +1,134 @@
+// Command taggertrace analyzes a JSONL event trace produced by
+// `taggersim -trace <file>` (or any sim.JSONLTracer): pause pressure per
+// link, drop causes, demotions, and time-to-deadlock.
+//
+// Usage:
+//
+//	taggersim -exp fig10 -trace /tmp/fig10.jsonl
+//	taggertrace /tmp/fig10.jsonl
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("taggertrace: ")
+	top := flag.Int("top", 10, "links to show in the pause-pressure table")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: taggertrace [-top N] <trace.jsonl>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+
+	type linkKey struct{ node, peer string }
+	pauses := map[linkKey]int{}
+	resumes := map[linkKey]int{}
+	dropByReason := map[string]int{}
+	dropByFlow := map[string]int{}
+	demotes := 0
+	var events, deadlocks int
+	var firstDeadlock int64 = -1
+	var firstCycle []string
+	var lastT int64
+
+	dec := json.NewDecoder(f)
+	for dec.More() {
+		var ev sim.TraceEvent
+		if err := dec.Decode(&ev); err != nil {
+			log.Fatalf("line %d: %v", events+1, err)
+		}
+		events++
+		if ev.T > lastT {
+			lastT = ev.T
+		}
+		switch ev.Kind {
+		case "pause":
+			pauses[linkKey{ev.Node, ev.Peer}]++
+		case "resume":
+			resumes[linkKey{ev.Node, ev.Peer}]++
+		case "drop":
+			dropByReason[ev.Reason]++
+			dropByFlow[ev.Flow]++
+		case "demote":
+			demotes++
+		case "deadlock":
+			deadlocks++
+			if firstDeadlock < 0 {
+				firstDeadlock = ev.T
+				firstCycle = ev.Cycle
+			}
+		}
+	}
+
+	fmt.Printf("%d events over %v of simulated time\n\n", events, time.Duration(lastT))
+
+	if firstDeadlock >= 0 {
+		fmt.Printf("DEADLOCK onset at %v (%d onsets total); first cycle:\n",
+			time.Duration(firstDeadlock), deadlocks)
+		for _, e := range firstCycle {
+			fmt.Printf("  %s\n", e)
+		}
+		fmt.Println()
+	} else {
+		fmt.Print("no deadlock\n\n")
+	}
+
+	type row struct {
+		k       linkKey
+		p, r    int
+		pending int
+	}
+	var rows []row
+	for k, p := range pauses {
+		rows = append(rows, row{k, p, resumes[k], p - resumes[k]})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].p != rows[j].p {
+			return rows[i].p > rows[j].p
+		}
+		if rows[i].k.node != rows[j].k.node {
+			return rows[i].k.node < rows[j].k.node
+		}
+		return rows[i].k.peer < rows[j].k.peer
+	})
+	if len(rows) > *top {
+		rows = rows[:*top]
+	}
+	t := metrics.NewTable("Pauser", "Paused peer", "Pauses", "Resumes", "Still paused")
+	for _, r := range rows {
+		t.AddRow(r.k.node, r.k.peer, r.p, r.r, r.pending)
+	}
+	fmt.Printf("pause pressure (top %d links):\n%s\n", *top, t.String())
+
+	if len(dropByReason) > 0 {
+		dt := metrics.NewTable("Drop reason", "Count")
+		reasons := make([]string, 0, len(dropByReason))
+		for r := range dropByReason {
+			reasons = append(reasons, r)
+		}
+		sort.Strings(reasons)
+		for _, r := range reasons {
+			dt.AddRow(r, dropByReason[r])
+		}
+		fmt.Printf("drops:\n%s", dt.String())
+	}
+	if demotes > 0 {
+		fmt.Printf("lossless-to-lossy demotions: %d\n", demotes)
+	}
+}

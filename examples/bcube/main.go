@@ -1,0 +1,37 @@
+// bcube demonstrates Tagger on a server-centric topology: BCube's default
+// routing (one address digit corrected per hop, all digit orders) needs
+// exactly as many tags as BCube has levels — with no BCube-specific logic,
+// just Algorithms 1 and 2.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	tagger "repro"
+)
+
+func main() {
+	fmt.Println("BCube: generic Tagger synthesis on server-centric topologies")
+	fmt.Println()
+
+	for _, c := range []struct{ n, k int }{{2, 1}, {4, 1}, {2, 2}} {
+		b, err := tagger.NewBCube(c.n, c.k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		set := tagger.BCubeELP(b)
+		sys, err := tagger.Synthesize(b.Graph, set)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.Runtime.Verify(); err != nil {
+			log.Fatalf("BCube(%d,%d): %v", c.n, c.k, err)
+		}
+		fmt.Printf("BCube(%d,%d): %3d servers, %2d levels, ELP %5d paths -> %d lossless tags (verified deadlock-free)\n",
+			c.n, c.k, len(b.Servers), c.k+1, set.Len(), sys.Runtime.NumSwitchTags())
+	}
+
+	fmt.Println()
+	fmt.Println("paper §5.3: \"a k-level BCube with default routing only needs k tags\"")
+}

@@ -1,0 +1,60 @@
+// controller-ops demonstrates the §6 operational story: a controller
+// deploys verified Tagger rules once; link failures need zero rule
+// changes (the rules are static by design), and expanding the fabric by a
+// pod produces a small incremental bundle that never touches old
+// non-spine switches.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	tagger "repro"
+)
+
+func main() {
+	clos := tagger.PaperTestbed()
+	ctl, err := tagger.NewClosController(clos, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("initial deployment: %d lossless queues, %d switches with rules\n",
+		ctl.System().NumLosslessQueues(), len(ctl.Bundle().Switches))
+
+	// A day in production: links flap.
+	g := clos.Graph
+	events := []tagger.ControllerEvent{
+		{Kind: "link-down", A: g.MustLookup("L1"), B: g.MustLookup("T1")},
+		{Kind: "link-down", A: g.MustLookup("L3"), B: g.MustLookup("T4")},
+		{Kind: "link-up", A: g.MustLookup("L1"), B: g.MustLookup("T1")},
+	}
+	for _, ev := range events {
+		if err := ctl.Handle(ev); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("after %d failure events: %d rule updates pushed (Tagger rules are static)\n",
+		ctl.FailureEvents, len(ctl.PushedDiffs))
+
+	// Capacity expansion: one more pod under the existing spines.
+	if err := clos.Expand(1); err != nil {
+		log.Fatal(err)
+	}
+	if err := ctl.Handle(tagger.ControllerEvent{Kind: "expansion"}); err != nil {
+		log.Fatal(err)
+	}
+	diff := ctl.PushedDiffs[len(ctl.PushedDiffs)-1]
+	fmt.Printf("after adding a pod: incremental update touches %d switches:\n", len(diff))
+	for name, d := range diff {
+		fmt.Printf("  %-4s +%d rules -%d rules\n", name, len(d.Added), len(d.Removed))
+	}
+	fmt.Printf("still %d lossless queues; deployment re-verified deadlock-free\n",
+		ctl.System().NumLosslessQueues())
+
+	// The bundle is plain JSON an operator can diff and version.
+	data, err := ctl.Bundle().Marshal()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deployment bundle: %d bytes of JSON\n", len(data))
+}

@@ -1,0 +1,585 @@
+package tagger
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/elp"
+	"repro/internal/measure"
+	"repro/internal/metrics"
+	"repro/internal/paper"
+	"repro/internal/pfc"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/tcam"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// This file contains one driver per table/figure of the paper's
+// evaluation. Each driver returns a structured result whose fields map
+// directly onto the published artifact; EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+
+// --- Table 1 ----------------------------------------------------------------
+
+// Table1Result reproduces the reroute-probability measurement.
+type Table1Result struct {
+	Rows []measure.DayResult
+}
+
+// OverallProbability returns the pooled reroute probability.
+func (r Table1Result) OverallProbability() float64 {
+	var total, rer int64
+	for _, row := range r.Rows {
+		total += row.Total
+		rer += row.Rerouted
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(rer) / float64(total)
+}
+
+// String renders the table like the paper's Table 1.
+func (r Table1Result) String() string {
+	t := metrics.NewTable("Day", "Total No.", "Rerouted No.", "Reroute probability")
+	for _, row := range r.Rows {
+		t.AddRow(row.Day, row.Total, row.Rerouted, fmt.Sprintf("%.2e", row.Probability))
+	}
+	return t.String()
+}
+
+// Table1 runs the IP-in-IP probe campaign: days of measurements over a
+// Clos with a transient link-failure process (§3.2).
+func Table1(days int, perDay int64) Table1Result {
+	c := paper.Testbed()
+	return Table1Result{Rows: measure.RunCampaign(c, measure.DefaultConfig(), days, perDay)}
+}
+
+// --- Tables 3 and 4: the Figure 5 walk-through ------------------------------
+
+// WalkThroughResult reproduces Figure 5 and Tables 3/4: the 6-node example
+// topology, brute-force tags, merged tags, and the rewriting rules.
+type WalkThroughResult struct {
+	BruteForceSwitchTags int // Figure 5(b): 3
+	MergedSwitchTags     int // Figure 5(c): 2
+	BruteForceRules      []Rule
+	MergedRules          []Rule
+}
+
+// RuleTable renders a rule list in the layout of Tables 3/4.
+func RuleTable(g *Graph, rules []Rule) string {
+	t := metrics.NewTable("Switch", "Tag", "InPort", "OutPort", "NewTag")
+	for _, r := range rules {
+		t.AddRow(g.Node(r.Switch).Name, r.Tag, r.In, r.Out, r.NewTag)
+	}
+	return t.String()
+}
+
+// WalkThrough runs both algorithms on the Figure 5 fixture.
+func WalkThrough() (*WalkThroughResult, *Graph, error) {
+	f := paper.NewFig5()
+	bf, err := core.Synthesize(f.Graph, f.ELP.Paths(), core.Options{SkipMerge: true})
+	if err != nil {
+		return nil, nil, err
+	}
+	merged, err := core.Synthesize(f.Graph, f.ELP.Paths(), core.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	return &WalkThroughResult{
+		BruteForceSwitchTags: bf.Runtime.NumSwitchTags(),
+		MergedSwitchTags:     merged.Runtime.NumSwitchTags(),
+		BruteForceRules:      bf.Rules.Rules(),
+		MergedRules:          merged.Rules.Rules(),
+	}, f.Graph, nil
+}
+
+// --- Table 5: Jellyfish scalability ------------------------------------------
+
+// Table5Row is one row of the Jellyfish scalability table.
+type Table5Row struct {
+	Switches        int
+	Ports           int
+	LongestLossless int // hops of the longest ELP path
+	ELPSize         int // number of expected lossless paths
+	Priorities      int // lossless queues needed (paper: 3 everywhere)
+	Rules           int // max TCAM entries on any one switch (compressed)
+	ExtraRandom     int // additional random paths (last row of the table)
+}
+
+// Table5Result is the whole table.
+type Table5Result struct{ Rows []Table5Row }
+
+// String renders it like the paper.
+func (r Table5Result) String() string {
+	t := metrics.NewTable("Switches", "Ports", "Longest", "ELP", "Priorities", "Rules", "+Random")
+	for _, row := range r.Rows {
+		t.AddRow(row.Switches, row.Ports, row.LongestLossless, row.ELPSize,
+			row.Priorities, row.Rules, row.ExtraRandom)
+	}
+	return t.String()
+}
+
+// Table5Case computes one row: a Jellyfish of the given size with
+// shortest-path ELP between all switch pairs (plus extraRandom random
+// paths), synthesized with Algorithms 1+2 and compressed to TCAM entries.
+func Table5Case(switches, ports int, extraRandom int, seed int64) (Table5Row, error) {
+	return table5Case(switches, ports, extraRandom, seed, false)
+}
+
+// Table5CaseECMP is Table5Case with the denser ELP production fabrics
+// run: ALL equal-cost shortest paths per pair (capped at 8), the multipath
+// sets ECMP actually spreads over.
+func Table5CaseECMP(switches, ports int, seed int64) (Table5Row, error) {
+	return table5Case(switches, ports, 0, seed, true)
+}
+
+func table5Case(switches, ports, extraRandom int, seed int64, ecmp bool) (Table5Row, error) {
+	j, err := topology.NewJellyfish(topology.JellyfishConfig{
+		Switches: switches, Ports: ports, Seed: seed,
+	})
+	if err != nil {
+		return Table5Row{}, err
+	}
+	var set *elp.Set
+	if ecmp {
+		set = elp.ShortestAllECMP(j.Graph, j.Switches, 8)
+	} else {
+		set = elp.ShortestAll(j.Graph, j.Switches)
+	}
+	if extraRandom > 0 {
+		maxHops := 2 // random paths up to 2x the diameter-ish; keep short
+		for _, p := range set.Paths() {
+			if p.Hops() > maxHops {
+				maxHops = p.Hops()
+			}
+		}
+		elp.AddRandomPaths(set, j.Graph, j.Switches, extraRandom, maxHops+2, seed^0x7ead)
+	}
+	sys, err := core.Synthesize(j.Graph, set.Paths(), core.Options{})
+	if err != nil {
+		return Table5Row{}, err
+	}
+	entries := tcam.Compress(sys.Rules.Rules())
+	return Table5Row{
+		Switches:        switches,
+		Ports:           ports,
+		LongestLossless: set.LongestHops(),
+		ELPSize:         set.Len(),
+		Priorities:      sys.Runtime.NumSwitchTags(),
+		Rules:           tcam.MaxPerSwitch(entries),
+		ExtraRandom:     extraRandom,
+	}, nil
+}
+
+// Table5 computes the default sweep. The paper scales to 2,000 switches;
+// the same code handles it, the default keeps CI fast.
+func Table5() (Table5Result, error) {
+	cases := []struct {
+		switches, ports, extra int
+	}{
+		{50, 12, 0},
+		{100, 16, 0},
+		{200, 24, 0},
+		{200, 24, 10000},
+	}
+	var out Table5Result
+	for _, cse := range cases {
+		row, err := Table5Case(cse.switches, cse.ports, cse.extra, 1)
+		if err != nil {
+			return out, err
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// --- Figure 6: greedy vs optimal on Clos -------------------------------------
+
+// Figure6Result compares Algorithm 2 against the Clos-specific optimum on
+// the shortest + 1-bounce ELP.
+type Figure6Result struct {
+	GreedyQueues  int // paper: 3
+	OptimalQueues int // paper: 2
+}
+
+// Figure6 runs the comparison on the testbed Clos.
+func Figure6() (Figure6Result, error) {
+	c := paper.Testbed()
+	set := elp.KBounce(c.Graph, c.ToRs, 1, nil)
+	greedy, err := core.Synthesize(c.Graph, set.Paths(), core.Options{})
+	if err != nil {
+		return Figure6Result{}, err
+	}
+	opt, err := core.ClosSynthesize(c.Graph, set.Paths(), 1)
+	if err != nil {
+		return Figure6Result{}, err
+	}
+	return Figure6Result{
+		GreedyQueues:  greedy.Runtime.NumSwitchTags(),
+		OptimalQueues: opt.Runtime.NumSwitchTags(),
+	}, nil
+}
+
+// --- Figures 10-12: testbed experiments ---------------------------------------
+
+// FlowSeries is one flow's delivered-rate time series.
+type FlowSeries struct {
+	Name   string
+	Points []sim.RatePoint
+	// LateGbps is the mean delivered rate over the last quarter of the
+	// run — zero for deadlocked flows.
+	LateGbps float64
+}
+
+// ExperimentResult holds one scenario run.
+type ExperimentResult struct {
+	Deadlocked bool
+	Cycle      []string // the detected pause-wait cycle, if any
+	Flows      []FlowSeries
+	Drops      sim.DropStats
+}
+
+func runScenario(s *workload.Scenario) ExperimentResult {
+	s.Run()
+	res := ExperimentResult{
+		Deadlocked: s.Net.Deadlocked(),
+		Cycle:      s.Net.DetectDeadlock(),
+		Drops:      s.Net.Drops(),
+	}
+	lateFrom := s.Duration * 3 / 4
+	for _, f := range s.Flows {
+		res.Flows = append(res.Flows, FlowSeries{
+			Name:     f.Name(),
+			Points:   f.Series(s.Duration),
+			LateGbps: f.MeanGbps(lateFrom, s.Duration),
+		})
+	}
+	return res
+}
+
+// Figure10 runs the 1-bounce deadlock experiment; withTagger selects the
+// (a)/(b) halves of the figure.
+func Figure10(withTagger bool) ExperimentResult {
+	opt := workload.Options{}
+	if withTagger {
+		opt.Bounces = 1
+	}
+	return runScenario(workload.Figure10(opt))
+}
+
+// Reconvergence runs the organic failure experiment: no pinned paths —
+// two link failures, local fast-reroute detours (the 1-bounce paths),
+// stale upstream routes with transient micro-loops, then global
+// convergence at 15 ms. It is the §3 story end to end.
+func Reconvergence(withTagger bool, flows int) ExperimentResult {
+	opt := workload.Options{}
+	if withTagger {
+		opt.Bounces = 1
+	}
+	return runScenario(workload.Reconvergence(opt, flows))
+}
+
+// FigureTraced runs one of the figure experiments with a JSONL event
+// trace (pauses, resumes, demotions, drops, deadlock onsets) written to w.
+func FigureTraced(name string, withTagger bool, w io.Writer) (ExperimentResult, error) {
+	opt := workload.Options{}
+	if withTagger {
+		opt.Bounces = 1
+	}
+	var s *workload.Scenario
+	switch name {
+	case "fig10":
+		s = workload.Figure10(opt)
+	case "fig11":
+		s = workload.Figure11(opt)
+	case "fig12":
+		s = workload.Figure12(opt)
+	default:
+		return ExperimentResult{}, fmt.Errorf("tagger: unknown figure %q", name)
+	}
+	tr := &sim.JSONLTracer{W: w}
+	s.Net.SetTracer(tr)
+	res := runScenario(s)
+	if tr.Err != nil {
+		return res, fmt.Errorf("tagger: trace write: %w", tr.Err)
+	}
+	return res, nil
+}
+
+// Figure11 runs the routing-loop experiment.
+func Figure11(withTagger bool) ExperimentResult {
+	opt := workload.Options{}
+	if withTagger {
+		opt.Bounces = 1
+	}
+	return runScenario(workload.Figure11(opt))
+}
+
+// Figure12 runs the PAUSE-propagation shuffle experiment.
+func Figure12(withTagger bool) ExperimentResult {
+	opt := workload.Options{}
+	if withTagger {
+		opt.Bounces = 1
+	}
+	return runScenario(workload.Figure12(opt))
+}
+
+// --- §8 overhead ---------------------------------------------------------------
+
+// OverheadResult quantifies Tagger's performance penalty on a healthy
+// permutation workload — throughput and delivery latency, since the
+// paper claims "no discernible impact on throughput and latency".
+type OverheadResult struct {
+	BaselineGbps float64
+	TaggerGbps   float64
+	BaselineP99  time.Duration
+	TaggerP99    time.Duration
+}
+
+// PenaltyPercent returns the relative goodput loss (negative = gain).
+func (o OverheadResult) PenaltyPercent() float64 {
+	if o.BaselineGbps == 0 {
+		return 0
+	}
+	return (o.BaselineGbps - o.TaggerGbps) / o.BaselineGbps * 100
+}
+
+// Overhead measures aggregate goodput and worst-flow P99 latency with
+// and without Tagger rules.
+func Overhead() OverheadResult {
+	worstP99 := func(s *workload.Scenario) time.Duration {
+		var worst time.Duration
+		for _, f := range s.Flows {
+			if p := f.Latency().P99; p > worst {
+				worst = p
+			}
+		}
+		return worst
+	}
+	base := workload.Permutation(workload.Options{})
+	base.Run()
+	tagged := workload.Permutation(workload.Options{Bounces: 1})
+	tagged.Run()
+	from, to := 5*time.Millisecond, 10*time.Millisecond
+	return OverheadResult{
+		BaselineGbps: base.AggregateGoodput(from, to),
+		TaggerGbps:   tagged.AggregateGoodput(from, to),
+		BaselineP99:  worstP99(base),
+		TaggerP99:    worstP99(tagged),
+	}
+}
+
+// --- §6 multi-class -------------------------------------------------------------
+
+// MultiClassResult compares shared-tag queues against the naive
+// composition.
+type MultiClassResult struct {
+	Classes      int
+	Bounces      int
+	SharedQueues int // M + N
+	NaiveQueues  int // N * (M + 1)
+}
+
+// MultiClass evaluates the §6 composition on the testbed Clos.
+func MultiClass(classes, bounces int) (MultiClassResult, error) {
+	c := paper.Testbed()
+	full := elp.KBounce(c.Graph, c.ToRs, bounces, nil)
+	base, err := core.ClosSynthesize(c.Graph, full.Paths(), bounces)
+	if err != nil {
+		return MultiClassResult{}, err
+	}
+	sets := make([][]Path, classes)
+	ud := elp.UpDownAll(c.Graph, c.ToRs)
+	for i := range sets {
+		if i == 0 {
+			sets[i] = full.Paths()
+		} else {
+			sets[i] = ud.Paths() // later classes tolerate fewer bounces
+		}
+	}
+	mc, err := core.MultiClassClos(base, sets, bounces)
+	if err != nil {
+		return MultiClassResult{}, err
+	}
+	return MultiClassResult{
+		Classes:      classes,
+		Bounces:      bounces,
+		SharedQueues: mc.NumLosslessQueues(),
+		NaiveQueues:  core.NaiveMultiClassQueues(classes, bounces),
+	}, nil
+}
+
+// --- BCube / fat-tree scalability -------------------------------------------------
+
+// BCubeTags synthesizes BCube(n,k) with its default-routing ELP and
+// returns the lossless queue count (paper: the number of BCube levels).
+func BCubeTags(n, k int) (int, error) {
+	b, err := topology.NewBCube(n, k)
+	if err != nil {
+		return 0, err
+	}
+	set := elp.BCubeELP(b, nil)
+	sys, err := core.Synthesize(b.Graph, set.Paths(), core.Options{})
+	if err != nil {
+		return 0, err
+	}
+	return sys.Runtime.NumSwitchTags(), nil
+}
+
+// --- Prevention vs detect-and-break recovery --------------------------------------
+
+// RecoveryComparison quantifies the §1 argument against recovery-based
+// schemes on the Figure 10 scenario.
+type RecoveryComparison struct {
+	// Recovery runs detect-and-break every 500 us.
+	RecoveryDetections     int
+	RecoveryPacketsDropped int64
+	RecoveryGoodputGbps    float64
+	// Tagger is the prevention alternative on identical traffic.
+	TaggerGoodputGbps float64
+}
+
+// CompareRecovery runs the two deployments side by side.
+func CompareRecovery() RecoveryComparison {
+	var out RecoveryComparison
+
+	rec := workload.Figure10(workload.Options{})
+	stats := rec.Net.EnableRecovery(500 * time.Microsecond)
+	rec.Run()
+	out.RecoveryDetections = stats.Detections
+	out.RecoveryPacketsDropped = stats.PacketsDropped
+	out.RecoveryGoodputGbps = rec.AggregateGoodput(rec.Duration/2, rec.Duration)
+
+	tag := workload.Figure10(workload.Options{Bounces: 1})
+	tag.Run()
+	out.TaggerGoodputGbps = tag.AggregateGoodput(tag.Duration/2, tag.Duration)
+	return out
+}
+
+// --- DCQCN interaction (§6) ----------------------------------------------------------
+
+// DCQCNResult compares PAUSE generation with and without congestion
+// control on an incast, with and without Tagger.
+type DCQCNResult struct {
+	PausesWithoutCC int64
+	PausesWithCC    int64
+	GoodputGbps     float64 // with CC
+	TaggerCleanWith bool    // Tagger + DCQCN coexist without drops
+}
+
+// DCQCNExperiment runs the incast comparison.
+func DCQCNExperiment() DCQCNResult {
+	run := func(cc bool) (*sim.Network, float64) {
+		c := paper.Testbed()
+		tb := routingComputeUD(c)
+		n := sim.New(c.Graph, tb, sim.DefaultConfig())
+		if cc {
+			n.EnableDCQCN(sim.DefaultDCQCN())
+		}
+		g := c.Graph
+		f1 := n.AddFlow(sim.FlowSpec{Name: "a", Src: g.MustLookup("H5"), Dst: g.MustLookup("H1")})
+		f2 := n.AddFlow(sim.FlowSpec{Name: "b", Src: g.MustLookup("H9"), Dst: g.MustLookup("H1")})
+		n.Run(15 * time.Millisecond)
+		return n, f1.MeanGbps(8*time.Millisecond, 15*time.Millisecond) +
+			f2.MeanGbps(8*time.Millisecond, 15*time.Millisecond)
+	}
+	var out DCQCNResult
+	base, _ := run(false)
+	out.PausesWithoutCC = base.PauseFrames
+	withCC, goodput := run(true)
+	out.PausesWithCC = withCC.PauseFrames
+	out.GoodputGbps = goodput
+
+	// Tagger + DCQCN on the Figure 10 scenario: clean.
+	s := workload.Figure10(workload.Options{Bounces: 1})
+	s.Net.EnableDCQCN(sim.DefaultDCQCN())
+	s.Run()
+	out.TaggerCleanWith = !s.Net.Deadlocked() && s.Net.Drops().Total() == 0
+	return out
+}
+
+func routingComputeUD(c *topology.Clos) *routing.Tables {
+	return routing.ComputeToHosts(c.Graph, routing.UpDown)
+}
+
+// --- §3.3 lossless queue budget --------------------------------------------------------
+
+// QueueBudgetRow is one chip generation's analysis.
+type QueueBudgetRow struct {
+	Name          string
+	BufferMB      float64
+	Ports         int
+	GbpsPerPort   int64
+	MaxLossless   int
+	PerQueueBytes int64
+}
+
+// QueueBudget reproduces the §3.3 claim that commodity ASICs support only
+// a handful of lossless queues.
+func QueueBudget() []QueueBudgetRow {
+	specs := []struct {
+		name string
+		s    pfc.ChipSpec
+	}{
+		{"Tomahawk-40G", pfc.Tomahawk40G()},
+		{"Tomahawk-100G", pfc.Tomahawk100G()},
+	}
+	out := make([]QueueBudgetRow, 0, len(specs))
+	for _, sp := range specs {
+		out = append(out, QueueBudgetRow{
+			Name:          sp.name,
+			BufferMB:      float64(sp.s.TotalBuffer) / (1 << 20),
+			Ports:         sp.s.Ports,
+			GbpsPerPort:   sp.s.LinkBitsPerSec / 1_000_000_000,
+			MaxLossless:   sp.s.MaxLosslessQueues(),
+			PerQueueBytes: sp.s.PerQueueReservation(),
+		})
+	}
+	return out
+}
+
+// --- §6 isolation trade-off ------------------------------------------------------------------
+
+// IsolationResult quantifies the reduced isolation of the shared-tag
+// multi-class composition: a bounced class-1 flow lands in class 2's
+// priority and takes its capacity and pauses.
+type IsolationResult struct {
+	VictimCleanGbps float64 // class-2 rate with the class-1 flow on a healthy route
+	VictimMixedGbps float64 // class-2 rate with the class-1 flow bounced into its priority
+}
+
+// CostPercent returns the victim's relative rate loss.
+func (r IsolationResult) CostPercent() float64 {
+	if r.VictimCleanGbps == 0 {
+		return 0
+	}
+	return (r.VictimCleanGbps - r.VictimMixedGbps) / r.VictimCleanGbps * 100
+}
+
+// IsolationCost runs the §6 experiment both ways.
+func IsolationCost() IsolationResult {
+	mixed := workload.MultiClassIsolation(true)
+	mixed.Run()
+	clean := workload.MultiClassIsolation(false)
+	clean.Run()
+	from, to := 8*time.Millisecond, 15*time.Millisecond
+	return IsolationResult{
+		VictimCleanGbps: clean.ByName["victim"].MeanGbps(from, to),
+		VictimMixedGbps: mixed.ByName["victim"].MeanGbps(from, to),
+	}
+}
+
+// --- §7 compression ablation -------------------------------------------------------------
+
+// CompressionAblation reports entry counts at each compression level for
+// the testbed's deployed rule set.
+func CompressionAblation() tcam.CompressionLevels {
+	c := paper.Testbed()
+	rs := core.ClosRules(c.Graph, 1, 1)
+	return tcam.Levels(rs.Rules())
+}

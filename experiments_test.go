@@ -1,0 +1,113 @@
+package tagger
+
+import (
+	"testing"
+)
+
+func TestCompareRecoveryExperiment(t *testing.T) {
+	res := CompareRecovery()
+	if res.RecoveryDetections < 2 {
+		t.Errorf("recovery detections = %d, want repeated reformation", res.RecoveryDetections)
+	}
+	if res.RecoveryPacketsDropped == 0 {
+		t.Error("recovery sacrificed no packets")
+	}
+	if res.TaggerGoodputGbps < res.RecoveryGoodputGbps*2 {
+		t.Errorf("Tagger goodput %.1f should dominate recovery %.1f",
+			res.TaggerGoodputGbps, res.RecoveryGoodputGbps)
+	}
+}
+
+func TestDCQCNExperimentShape(t *testing.T) {
+	res := DCQCNExperiment()
+	if res.PausesWithCC*5 > res.PausesWithoutCC {
+		t.Errorf("DCQCN pauses %d not far below baseline %d",
+			res.PausesWithCC, res.PausesWithoutCC)
+	}
+	if res.GoodputGbps < 20 {
+		t.Errorf("incast goodput with CC = %.1f Gbps", res.GoodputGbps)
+	}
+	if !res.TaggerCleanWith {
+		t.Error("Tagger + DCQCN not clean")
+	}
+}
+
+func TestQueueBudgetExperiment(t *testing.T) {
+	rows := QueueBudget()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.MaxLossless < 1 || r.MaxLossless > 4 {
+			t.Errorf("%s: %d lossless queues, paper says a handful (<= 4)", r.Name, r.MaxLossless)
+		}
+		if r.PerQueueBytes <= 0 || r.BufferMB <= 0 {
+			t.Errorf("row fields: %+v", r)
+		}
+	}
+	if rows[1].MaxLossless > rows[0].MaxLossless {
+		t.Error("budget should not improve across generations (§3.3)")
+	}
+}
+
+func TestCompressionAblationExperiment(t *testing.T) {
+	lv := CompressionAblation()
+	if !(lv.Exact > lv.InPortOnly && lv.InPortOnly > lv.Joint) {
+		t.Errorf("compression levels: %+v", lv)
+	}
+}
+
+func TestBundleFacade(t *testing.T) {
+	clos := PaperTestbed()
+	set := KBounceELP(clos, 1)
+	sys, err := SynthesizeClos(clos, set, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := ExportBundle(sys.Rules)
+	rs, err := ImportBundle(clos.Graph, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != sys.Rules.Len() {
+		t.Errorf("roundtrip lost rules: %d vs %d", rs.Len(), sys.Rules.Len())
+	}
+	if diffs := DiffBundles(b, ExportBundle(rs)); len(diffs) != 0 {
+		t.Errorf("roundtrip diff: %v", diffs)
+	}
+}
+
+func TestControllerFacade(t *testing.T) {
+	clos := PaperTestbed()
+	ctl, err := NewClosController(clos, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := clos.Graph
+	if err := ctl.Handle(ControllerEvent{Kind: "link-down",
+		A: g.MustLookup("L1"), B: g.MustLookup("T1")}); err != nil {
+		t.Fatal(err)
+	}
+	if len(ctl.PushedDiffs) != 0 {
+		t.Error("failure caused rule churn")
+	}
+}
+
+func TestDataplaneFacade(t *testing.T) {
+	clos := PaperTestbed()
+	set := KBounceELP(clos, 1)
+	sys, err := SynthesizeClos(clos, set, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp := CompileDataplane(clos.Graph, sys.Rules)
+	if dp.TotalEntries() == 0 {
+		t.Fatal("empty dataplane")
+	}
+}
+
+func TestChipSpecFacade(t *testing.T) {
+	if Tomahawk40G().MaxLosslessQueues() < 1 || Tomahawk100G().MaxLosslessQueues() < 1 {
+		t.Error("chip budgets")
+	}
+}

@@ -1,0 +1,176 @@
+// Package cbd builds and analyzes Cyclic Buffer Dependency graphs.
+//
+// A buffer dependency exists from queue X to queue Y when packets held in
+// X must be forwarded into Y: if Y fills and pauses its upstream, X cannot
+// drain. A cycle of such dependencies (a CBD) is the necessary condition
+// for PFC deadlock (§2 of the Tagger paper); Tagger works by making the
+// per-priority dependency graphs provably acyclic.
+package cbd
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// Queue identifies one lossless ingress queue: a port on its owning node
+// plus the PFC priority.
+type Queue struct {
+	Port     topology.PortID
+	Priority int
+}
+
+// Graph is a buffer-dependency graph.
+type Graph struct {
+	g   *topology.Graph
+	adj map[Queue][]Queue
+	set map[[2]Queue]struct{}
+}
+
+// New returns an empty dependency graph over topology g.
+func New(g *topology.Graph) *Graph {
+	return &Graph{
+		g:   g,
+		adj: make(map[Queue][]Queue),
+		set: make(map[[2]Queue]struct{}),
+	}
+}
+
+// AddDependency inserts the edge from -> to (idempotent).
+func (d *Graph) AddDependency(from, to Queue) {
+	k := [2]Queue{from, to}
+	if _, ok := d.set[k]; ok {
+		return
+	}
+	d.set[k] = struct{}{}
+	d.adj[from] = append(d.adj[from], to)
+}
+
+// NumEdges returns the number of distinct dependencies.
+func (d *Graph) NumEdges() int { return len(d.set) }
+
+// Classifier assigns the lossless priority a packet occupies on each hop
+// of a path; returning a negative priority marks the hop lossy (no
+// dependency contributed from that hop on). Hop i refers to the arrival
+// at path node i+1.
+type Classifier func(p routing.Path) []int
+
+// SinglePriority treats every hop of every path as priority prio — the
+// world without Tagger, where all RDMA traffic shares one lossless class.
+func SinglePriority(prio int) Classifier {
+	return func(p routing.Path) []int {
+		out := make([]int, len(p)-1)
+		for i := range out {
+			out[i] = prio
+		}
+		return out
+	}
+}
+
+// FromPaths builds the dependency graph induced by traffic on the given
+// paths under the classifier: for consecutive hops, the ingress queue at
+// node i depends on the ingress queue at node i+1 (the packet held at i
+// must enter i+1). Hops at or beyond a lossy classification contribute no
+// dependencies, and dependencies into plain hosts are skipped (hosts sink
+// traffic; nothing behind them can be paused into a cycle).
+func FromPaths(g *topology.Graph, paths []routing.Path, classify Classifier) *Graph {
+	d := New(g)
+	for _, p := range paths {
+		if len(p) < 3 {
+			continue
+		}
+		prios := classify(p)
+		for i := 1; i+1 < len(p); i++ {
+			if g.Node(p[i]).Kind == topology.KindHost {
+				break // hosts do not forward; nothing downstream
+			}
+			if prios[i-1] < 0 || prios[i] < 0 {
+				continue
+			}
+			if g.Node(p[i+1]).Kind == topology.KindHost {
+				continue // delivery hop: the host NIC is not a paused queue
+			}
+			from := Queue{Port: ingressPort(g, p[i-1], p[i]), Priority: prios[i-1]}
+			to := Queue{Port: ingressPort(g, p[i], p[i+1]), Priority: prios[i]}
+			d.AddDependency(from, to)
+		}
+	}
+	return d
+}
+
+func ingressPort(g *topology.Graph, from, to topology.NodeID) topology.PortID {
+	num := g.PortToPeer(to, from)
+	if num < 0 {
+		panic(fmt.Sprintf("cbd: %s and %s not adjacent", g.Node(from).Name, g.Node(to).Name))
+	}
+	return g.PortOn(to, num)
+}
+
+// FindCycle returns one dependency cycle as a queue sequence (the edge
+// from the last element back to the first closes it), or nil if the graph
+// is acyclic — i.e. deadlock-free for the modeled traffic.
+func (d *Graph) FindCycle() []Queue {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[Queue]int, len(d.adj))
+	parent := make(map[Queue]Queue)
+	type frame struct {
+		node Queue
+		next int
+	}
+	for start := range d.adj {
+		if color[start] != white {
+			continue
+		}
+		stack := []frame{{node: start}}
+		color[start] = gray
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < len(d.adj[f.node]) {
+				v := d.adj[f.node][f.next]
+				f.next++
+				switch color[v] {
+				case white:
+					color[v] = gray
+					parent[v] = f.node
+					stack = append(stack, frame{node: v})
+				case gray:
+					cyc := []Queue{v}
+					for cur := f.node; cur != v; cur = parent[cur] {
+						cyc = append(cyc, cur)
+					}
+					for i, j := 0, len(cyc)-1; i < j; i, j = i+1, j-1 {
+						cyc[i], cyc[j] = cyc[j], cyc[i]
+					}
+					return cyc
+				}
+			} else {
+				color[f.node] = black
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return nil
+}
+
+// HasCBD reports whether any cyclic buffer dependency exists.
+func (d *Graph) HasCBD() bool { return d.FindCycle() != nil }
+
+// CycleString renders a cycle like "L1<-S1 ... " using switch names, for
+// test failure messages and the CLI.
+func (d *Graph) CycleString(cyc []Queue) string {
+	if len(cyc) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(cyc))
+	for _, q := range cyc {
+		p := d.g.Port(q.Port)
+		parts = append(parts, fmt.Sprintf("%s_%d@p%d", d.g.Node(p.Node).Name, p.Num, q.Priority))
+	}
+	return strings.Join(parts, " -> ")
+}

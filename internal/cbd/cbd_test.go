@@ -1,0 +1,177 @@
+package cbd
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/elp"
+	"repro/internal/paper"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// TestFigure1CBD reproduces the paper's Figure 1: three switches in a
+// triangle, three flows each crossing two switches, cyclic buffer
+// dependency A -> B -> C -> A with no routing loop.
+func TestFigure1CBD(t *testing.T) {
+	g := topology.New()
+	a := g.AddNode("A", topology.KindSwitch, -1)
+	b := g.AddNode("B", topology.KindSwitch, -1)
+	c := g.AddNode("C", topology.KindSwitch, -1)
+	// Hosts sourcing/sinking each flow.
+	ha := g.AddNode("Ha", topology.KindHost, 0)
+	hb := g.AddNode("Hb", topology.KindHost, 0)
+	hc := g.AddNode("Hc", topology.KindHost, 0)
+	g.Connect(a, b)
+	g.Connect(b, c)
+	g.Connect(c, a)
+	g.Connect(ha, a)
+	g.Connect(hb, b)
+	g.Connect(hc, c)
+
+	// Each flow crosses two inter-switch links so that consecutive flows
+	// share ingress queues: flow 1 occupies (B, from A) and waits on
+	// (C, from B); flow 2 occupies (C, from B) and waits on (A, from C);
+	// flow 3 occupies (A, from C) and waits on (B, from A) — the cycle of
+	// the figure.
+	paths := []routing.Path{
+		{ha, a, b, c, hc},
+		{hb, b, c, a, ha},
+		{hc, c, a, b, hb},
+	}
+	d := FromPaths(g, paths, SinglePriority(1))
+	cyc := d.FindCycle()
+	if cyc == nil {
+		t.Fatal("Figure 1 CBD not detected")
+	}
+	if len(cyc) != 3 {
+		t.Errorf("cycle length = %d, want 3 (%s)", len(cyc), d.CycleString(cyc))
+	}
+	if d.CycleString(cyc) == "" {
+		t.Error("empty cycle string")
+	}
+	if !d.HasCBD() {
+		t.Error("HasCBD = false")
+	}
+}
+
+// TestFigure3OneBounceCBD reproduces Figure 3: the two 1-bounce flows on
+// the testbed Clos create the CBD L1 -> S1 -> L3 -> S2 -> L1 despite both
+// paths being loop-free.
+func TestFigure3OneBounceCBD(t *testing.T) {
+	c := paper.Testbed()
+	g := c.Graph
+	paths := []routing.Path{paper.Fig3GreenPath(c), paper.Fig3BluePath(c)}
+	for _, p := range paths {
+		if !p.LoopFree() {
+			t.Fatalf("path %s is not loop-free; the point of Fig 3 is CBD without loops", p.String(g))
+		}
+	}
+	d := FromPaths(g, paths, SinglePriority(1))
+	cyc := d.FindCycle()
+	if cyc == nil {
+		t.Fatal("Figure 3 CBD not detected")
+	}
+	if len(cyc) != 4 {
+		t.Errorf("cycle length = %d, want 4: %s", len(cyc), d.CycleString(cyc))
+	}
+}
+
+// TestFigure3TaggerBreaksCBD: under the Clos k=1 tagging rules the same
+// two paths produce an acyclic dependency graph — the bounce moves the
+// post-bounce segment into priority 2.
+func TestFigure3TaggerBreaksCBD(t *testing.T) {
+	c := paper.Testbed()
+	g := c.Graph
+	rs := core.ClosRules(g, 1, 1)
+	paths := []routing.Path{paper.Fig3GreenPath(c), paper.Fig3BluePath(c)}
+	d := FromPaths(g, paths, func(p routing.Path) []int { return rs.Priorities(p, 1) })
+	if cyc := d.FindCycle(); cyc != nil {
+		t.Fatalf("CBD under Tagger: %s", d.CycleString(cyc))
+	}
+}
+
+// TestZeroBounceNoCBD: pure up-down traffic has no CBD even in a single
+// priority.
+func TestZeroBounceNoCBD(t *testing.T) {
+	c := paper.Testbed()
+	s := elp.UpDownAll(c.Graph, c.ToRs)
+	d := FromPaths(c.Graph, s.Paths(), SinglePriority(1))
+	if d.HasCBD() {
+		t.Fatal("up-down traffic should have no CBD")
+	}
+	if d.NumEdges() == 0 {
+		t.Fatal("expected some dependencies")
+	}
+}
+
+// TestAllOneBouncePathsWithoutTaggerHaveCBD: the full 1-bounce ELP in one
+// priority contains CBDs; under Clos tagging it does not. This is the
+// paper's core claim quantified over the whole path set rather than one
+// example.
+func TestAllOneBouncePathsTaggerVsNot(t *testing.T) {
+	c := paper.Testbed()
+	g := c.Graph
+	s := elp.KBounce(g, c.ToRs, 1, nil)
+
+	plain := FromPaths(g, s.Paths(), SinglePriority(1))
+	if !plain.HasCBD() {
+		t.Fatal("1-bounce ELP without Tagger should contain a CBD")
+	}
+
+	rs := core.ClosRules(g, 1, 1)
+	tagged := FromPaths(g, s.Paths(), func(p routing.Path) []int { return rs.Priorities(p, 1) })
+	if cyc := tagged.FindCycle(); cyc != nil {
+		t.Fatalf("CBD under Tagger: %s", tagged.CycleString(cyc))
+	}
+}
+
+// TestRoutingLoopLossyNoDependency: a looping path classified lossy
+// contributes no dependencies at the lossy hops, so no CBD forms even
+// though the trajectory cycles (the Fig 11 safety argument).
+func TestRoutingLoopLossyNoDependency(t *testing.T) {
+	c := paper.Testbed()
+	g := c.Graph
+	n := func(name string) topology.NodeID { return g.MustLookup(name) }
+	// A trajectory that ping-pongs T1 <-> L1 (routing loop). Not loop-free
+	// as a path, but FromPaths models trajectories, not ELP.
+	loop := routing.Path{n("T2"), n("L1"), n("T1"), n("L1"), n("T1"), n("L1"), n("T1")}
+	rs := core.ClosRules(g, 1, 1)
+	d := FromPaths(g, []routing.Path{loop}, func(p routing.Path) []int { return rs.Priorities(p, 1) })
+	if d.HasCBD() {
+		t.Fatal("lossy loop produced a CBD")
+	}
+	// Without Tagger the same trajectory in one lossless priority IS a CBD.
+	plain := FromPaths(g, []routing.Path{loop}, SinglePriority(1))
+	if !plain.HasCBD() {
+		t.Fatal("loop without Tagger should be a CBD")
+	}
+}
+
+func TestShortPathsContributeNothing(t *testing.T) {
+	c := paper.Testbed()
+	g := c.Graph
+	d := FromPaths(g, []routing.Path{{c.ToRs[0], c.Leaves[0]}}, SinglePriority(1))
+	if d.NumEdges() != 0 {
+		t.Error("2-node path should add no dependencies")
+	}
+}
+
+func TestAddDependencyIdempotent(t *testing.T) {
+	c := paper.Testbed()
+	d := New(c.Graph)
+	q1 := Queue{Port: c.Graph.PortOn(c.Leaves[0], 0), Priority: 1}
+	q2 := Queue{Port: c.Graph.PortOn(c.Leaves[1], 0), Priority: 1}
+	d.AddDependency(q1, q2)
+	d.AddDependency(q1, q2)
+	if d.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d, want 1", d.NumEdges())
+	}
+	if d.HasCBD() {
+		t.Error("no cycle expected")
+	}
+	d.AddDependency(q2, q1)
+	if !d.HasCBD() {
+		t.Error("2-cycle not detected")
+	}
+}

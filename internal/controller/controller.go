@@ -1,0 +1,156 @@
+// Package controller is the §6 SDN deployment story: a central
+// controller that owns the ELP definition, synthesizes the Tagger rules,
+// pushes deployment bundles, and reacts to topology events.
+//
+// Its behavior encodes the paper's two operational claims:
+//
+//   - link failures and reroutes need NO rule updates — the tagging rules
+//     are static and defined only over local information, so the
+//     controller's failure handler is a no-op on the rule plane;
+//   - topology expansion produces an incremental bundle: only the new
+//     switches (plus spine entries for their new ports) receive updates.
+package controller
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/deploy"
+	"repro/internal/elp"
+	"repro/internal/topology"
+)
+
+// ELPPolicy computes the expected lossless path set for the current
+// topology. The controller re-evaluates it on topology *changes* (not on
+// failures, which by design change nothing).
+type ELPPolicy func(g *topology.Graph) *elp.Set
+
+// KBouncePolicy is the standard Clos policy: shortest up-down plus up to
+// k bounces between the given endpoint roster (re-read on every
+// evaluation so expansion picks up new ToRs).
+func KBouncePolicy(endpoints func() []topology.NodeID, k int) ELPPolicy {
+	return func(g *topology.Graph) *elp.Set {
+		return elp.KBounce(g, endpoints(), k, nil)
+	}
+}
+
+// Event is a topology event delivered to the controller.
+type Event struct {
+	// Kind is "link-down", "link-up" or "expansion".
+	Kind string
+	// A, B name the link endpoints for link events.
+	A, B topology.NodeID
+}
+
+// Controller owns the fabric's Tagger deployment.
+type Controller struct {
+	mu     sync.Mutex
+	g      *topology.Graph
+	policy ELPPolicy
+	// synth builds the system from the policy's ELP; the Clos deployment
+	// uses ClosSynthesize, generic fabrics use Synthesize.
+	synth func(g *topology.Graph, paths *elp.Set) (*core.System, error)
+
+	current *core.System
+	bundle  *deploy.Bundle
+
+	// PushedDiffs records every incremental update the controller
+	// emitted, for tests and audit.
+	PushedDiffs []map[string]deploy.SwitchDiff
+	// FailureEvents counts failure notifications handled (with zero rule
+	// churn, which TestFailuresAreRuleNoOps asserts).
+	FailureEvents int
+}
+
+// NewClos builds a controller deploying the optimal Clos scheme with the
+// given bounce budget.
+func NewClos(c *topology.Clos, k int) (*Controller, error) {
+	ctl := &Controller{
+		g:      c.Graph,
+		policy: KBouncePolicy(func() []topology.NodeID { return c.ToRs }, k),
+		synth: func(g *topology.Graph, s *elp.Set) (*core.System, error) {
+			return core.ClosSynthesize(g, s.Paths(), k)
+		},
+	}
+	if err := ctl.resync(); err != nil {
+		return nil, err
+	}
+	return ctl, nil
+}
+
+// NewGeneric builds a controller running Algorithms 1+2 under the given
+// policy.
+func NewGeneric(g *topology.Graph, policy ELPPolicy) (*Controller, error) {
+	ctl := &Controller{
+		g:      g,
+		policy: policy,
+		synth: func(g *topology.Graph, s *elp.Set) (*core.System, error) {
+			return core.Synthesize(g, s.Paths(), core.Options{})
+		},
+	}
+	if err := ctl.resync(); err != nil {
+		return nil, err
+	}
+	return ctl, nil
+}
+
+// System returns the currently deployed system.
+func (c *Controller) System() *core.System {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.current
+}
+
+// Bundle returns the currently deployed bundle.
+func (c *Controller) Bundle() *deploy.Bundle {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bundle
+}
+
+// resync recomputes the system and records the diff against the previous
+// deployment.
+func (c *Controller) resync() error {
+	set := c.policy(c.g)
+	sys, err := c.synth(c.g, set)
+	if err != nil {
+		return fmt.Errorf("controller: synthesis failed: %w", err)
+	}
+	if err := sys.Runtime.Verify(); err != nil {
+		return fmt.Errorf("controller: refusing to deploy unverified rules: %w", err)
+	}
+	newBundle := deploy.Export(sys.Rules)
+	if c.bundle != nil {
+		if d := deploy.Diff(c.bundle, newBundle); len(d) > 0 {
+			c.PushedDiffs = append(c.PushedDiffs, d)
+		}
+	}
+	c.current, c.bundle = sys, newBundle
+	return nil
+}
+
+// Handle processes one topology event.
+//
+// Failures are acknowledged but deliberately do not resynthesize: the
+// whole point of Tagger is that the installed rules already cover every
+// reroute the ELP anticipates, and wayward packets demote to lossy. An
+// expansion event re-runs the policy and pushes the incremental bundle.
+func (c *Controller) Handle(ev Event) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch ev.Kind {
+	case "link-down":
+		c.FailureEvents++
+		c.g.FailLink(ev.A, ev.B)
+		return nil
+	case "link-up":
+		c.FailureEvents++
+		c.g.RestoreLink(ev.A, ev.B)
+		return nil
+	case "expansion":
+		return c.resync()
+	default:
+		return fmt.Errorf("controller: unknown event kind %q", ev.Kind)
+	}
+}

@@ -1,0 +1,125 @@
+package controller
+
+import (
+	"testing"
+
+	"repro/internal/elp"
+	"repro/internal/paper"
+	"repro/internal/topology"
+)
+
+func TestControllerDeploysVerifiedSystem(t *testing.T) {
+	c := paper.Testbed()
+	ctl, err := NewClos(c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := ctl.System()
+	if sys == nil || sys.NumLosslessQueues() != 2 {
+		t.Fatalf("deployed system: %+v", sys)
+	}
+	if ctl.Bundle() == nil || len(ctl.Bundle().Switches) == 0 {
+		t.Fatal("no bundle")
+	}
+}
+
+// TestFailuresAreRuleNoOps encodes the paper's core operational property:
+// the rule plane does not move when links fail or recover.
+func TestFailuresAreRuleNoOps(t *testing.T) {
+	c := paper.Testbed()
+	ctl, err := NewClos(c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := c.Graph
+	events := []Event{
+		{Kind: "link-down", A: g.MustLookup("L1"), B: g.MustLookup("T1")},
+		{Kind: "link-down", A: g.MustLookup("L3"), B: g.MustLookup("T4")},
+		{Kind: "link-up", A: g.MustLookup("L1"), B: g.MustLookup("T1")},
+	}
+	for _, ev := range events {
+		if err := ctl.Handle(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ctl.FailureEvents != 3 {
+		t.Errorf("FailureEvents = %d", ctl.FailureEvents)
+	}
+	if len(ctl.PushedDiffs) != 0 {
+		t.Fatalf("failures pushed %d rule diffs; Tagger rules must be static", len(ctl.PushedDiffs))
+	}
+}
+
+// TestExpansionPushesIncrementalBundle: adding a pod updates only the new
+// switches and the spines' new ports.
+func TestExpansionPushesIncrementalBundle(t *testing.T) {
+	c := paper.Testbed()
+	ctl, err := NewClos(c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := c.Graph
+	oldSwitches := map[string]bool{}
+	for _, sw := range g.Switches() {
+		oldSwitches[g.Node(sw).Name] = true
+	}
+	spines := map[string]bool{}
+	for _, s := range c.Spines {
+		spines[g.Node(s).Name] = true
+	}
+
+	if err := c.Expand(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.Handle(Event{Kind: "expansion"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(ctl.PushedDiffs) != 1 {
+		t.Fatalf("diffs pushed = %d, want 1", len(ctl.PushedDiffs))
+	}
+	for name := range ctl.PushedDiffs[0] {
+		if oldSwitches[name] && !spines[name] {
+			t.Errorf("expansion touched old non-spine switch %s", name)
+		}
+	}
+	// The new deployment is verified and still 2 queues.
+	if got := ctl.System().NumLosslessQueues(); got != 2 {
+		t.Errorf("queues after expansion = %d", got)
+	}
+}
+
+func TestUnknownEvent(t *testing.T) {
+	c := paper.Testbed()
+	ctl, err := NewClos(c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.Handle(Event{Kind: "meteor"}); err == nil {
+		t.Fatal("unknown event accepted")
+	}
+}
+
+func TestGenericController(t *testing.T) {
+	j, err := topology.NewJellyfish(topology.JellyfishConfig{Switches: 20, Ports: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy := func(g *topology.Graph) *elp.Set {
+		return elp.ShortestAll(g, j.Switches)
+	}
+	ctl, err := NewGeneric(j.Graph, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctl.System().Runtime.NumSwitchTags() > 3 {
+		t.Errorf("jellyfish-20 tags = %d", ctl.System().Runtime.NumSwitchTags())
+	}
+	// Failure: no rule churn, same as Clos.
+	a, b := j.Switches[0], j.Switches[1]
+	if err := ctl.Handle(Event{Kind: "link-down", A: a, B: b}); err != nil {
+		t.Fatal(err)
+	}
+	if len(ctl.PushedDiffs) != 0 {
+		t.Fatal("generic controller pushed diffs on failure")
+	}
+}

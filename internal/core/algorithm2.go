@@ -1,0 +1,153 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/topology"
+)
+
+// GreedyMinimize implements the paper's Algorithm 2: it compresses the
+// tags of a brute-force tagged graph by greedily merging as many (port,
+// oldTag) vertices as possible into each new tag, subject to the per-tag
+// CBD-free constraint.
+//
+// New tags are assigned in increasing old-tag order, which preserves the
+// monotonic property: an edge's head is always processed after its tail,
+// so the head's new tag can never be smaller. Within one new tag t', the
+// sandbox graph over ports must stay acyclic; a vertex whose addition
+// would close a cycle is re-tagged t'+1 (which cannot itself create a
+// cycle, because every vertex demoted during one old-tag iteration shares
+// that old tag and brute-force graphs have no same-tag edges).
+//
+// The input graph must be a brute-force graph (every edge increases the
+// tag by exactly one); GreedyMinimize panics otherwise, because the
+// sandbox reasoning above is unsound for arbitrary graphs.
+func GreedyMinimize(bf *TaggedGraph) *TaggedGraph {
+	for e := range bf.edgeSet {
+		if e.To.Tag != e.From.Tag+1 {
+			panic("core: GreedyMinimize requires a brute-force tagged graph")
+		}
+	}
+
+	// Vertices grouped by old tag.
+	byTag := make(map[int][]TagNode)
+	for n := range bf.nodes {
+		byTag[n.Tag] = append(byTag[n.Tag], n)
+	}
+
+	newTag := make(map[TagNode]int, len(bf.nodes))
+	// sandbox is the port graph of the current new tag t'. Edges exist
+	// only between ports whose vertices were both merged into t'.
+	sandbox := make(map[topology.PortID][]topology.PortID)
+	tPrime := 1
+
+	for t := 1; t <= bf.maxTag; t++ {
+		// Process the least-constrained vertices first: those with the
+		// fewest candidate same-tag in-edges. Unconstrained vertices can
+		// never fail, and admitting them first leaves the sandbox as
+		// sparse as possible when the contested ones arrive. The ordering
+		// is what keeps large Jellyfish instances at the paper's three
+		// priorities (Table 5); a naive port order drifts to four. The
+		// degrees are stable within the iteration because every
+		// predecessor (old tag t-1) was assigned in the previous one.
+		ns := byTag[t]
+		deg := make(map[TagNode]int, len(ns))
+		for _, v := range ns {
+			d := 0
+			for _, u := range bf.pred[v] {
+				if newTag[u] == tPrime {
+					d++
+				}
+			}
+			deg[v] = d
+		}
+		sort.Slice(ns, func(i, j int) bool {
+			if deg[ns[i]] != deg[ns[j]] {
+				return deg[ns[i]] < deg[ns[j]]
+			}
+			return ns[i].Port < ns[j].Port
+		})
+		demoted := false
+		for _, v := range ns {
+			// Candidate same-tag edges: predecessors (old tag t-1) that
+			// were merged into the current new tag.
+			var newEdges []topology.PortID
+			for _, u := range bf.pred[v] {
+				if newTag[u] == tPrime {
+					newEdges = append(newEdges, u.Port)
+				}
+			}
+			if tryAddAcyclic(sandbox, v.Port, newEdges) {
+				newTag[v] = tPrime
+			} else {
+				newTag[v] = tPrime + 1
+				demoted = true
+			}
+		}
+		if demoted {
+			// The demoted vertices all share old tag t, so G_{t'+1} starts
+			// with no edges among them; a fresh sandbox is exactly it.
+			tPrime++
+			sandbox = make(map[topology.PortID][]topology.PortID)
+		}
+	}
+
+	// Materialize the merged graph.
+	out := NewTaggedGraph(bf.g)
+	for n := range bf.nodes {
+		out.AddNode(TagNode{Port: n.Port, Tag: newTag[n]})
+	}
+	for e := range bf.edgeSet {
+		out.AddEdge(
+			TagNode{Port: e.From.Port, Tag: newTag[e.From]},
+			TagNode{Port: e.To.Port, Tag: newTag[e.To]},
+		)
+	}
+	return out
+}
+
+// tryAddAcyclic tentatively adds port p (with the given incoming same-tag
+// edges) to the sandbox and commits iff the graph stays acyclic. The check
+// is incremental: a new cycle must pass through a new edge u->p, which
+// exists iff p already reaches u.
+func tryAddAcyclic(adj map[topology.PortID][]topology.PortID, p topology.PortID, newEdges []topology.PortID) bool {
+	if len(newEdges) > 0 {
+		targets := make(map[topology.PortID]bool, len(newEdges))
+		for _, u := range newEdges {
+			if u == p {
+				return false // self-loop (cannot occur for path graphs)
+			}
+			targets[u] = true
+		}
+		if reachesAny(adj, p, targets) {
+			return false
+		}
+	}
+	for _, u := range newEdges {
+		adj[u] = append(adj[u], p)
+	}
+	return true
+}
+
+// reachesAny reports whether any node in targets is reachable from start.
+func reachesAny(adj map[topology.PortID][]topology.PortID, start topology.PortID, targets map[topology.PortID]bool) bool {
+	if targets[start] {
+		return true
+	}
+	seen := map[topology.PortID]bool{start: true}
+	stack := []topology.PortID{start}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range adj[u] {
+			if targets[v] {
+				return true
+			}
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return false
+}

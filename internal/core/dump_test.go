@@ -1,0 +1,33 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/paper"
+)
+
+func TestDumpRendersPerTagGroups(t *testing.T) {
+	f := paper.NewFig5()
+	sys, err := Synthesize(f.Graph, f.ELP.Paths(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	sys.Runtime.Dump(&b)
+	out := b.String()
+	if !strings.Contains(out, "G_1:") || !strings.Contains(out, "G_2:") {
+		t.Errorf("missing tag groups:\n%s", out)
+	}
+	if !strings.Contains(out, "edges:") {
+		t.Error("missing edge section")
+	}
+	// Tag transitions render with the => arrow; same-tag with ->.
+	if !strings.Contains(out, "->") {
+		t.Error("no same-tag edges rendered")
+	}
+	// Every vertex line uses the paper's (A_i, x) notation.
+	if !strings.Contains(out, "(A_") && !strings.Contains(out, "(B_") {
+		t.Errorf("vertex notation missing:\n%s", out)
+	}
+}

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/elp"
+	"repro/internal/paper"
+)
+
+// TestClosRulesCoverHostLevelELP: the Clos bounce-counting rules plus the
+// injection/delivery pipeline defaults keep every host-to-host expected
+// lossless path lossless — the deployment-level statement (NICs stamp
+// DSCP 1, ToRs trust host-facing ingress).
+func TestClosRulesCoverHostLevelELP(t *testing.T) {
+	c := paper.Testbed()
+	g := c.Graph
+	rs := ClosRules(g, 1, 1)
+	sw := elp.KBounce(g, c.ToRs, 1, nil)
+	hl := elp.HostLevel(g, sw, 2) // 2 hosts per endpoint keeps it quick
+	for _, p := range hl.Paths() {
+		res := rs.Replay(p, 1)
+		if !res.Lossless {
+			t.Fatalf("host-level path %s lossy at hop %d", p.String(g), res.DropHop)
+		}
+	}
+	// And the induced runtime graph is deadlock-free.
+	tg, violations := BuildRuleGraph(rs, hl.Paths(), 1)
+	if len(violations) != 0 {
+		t.Fatalf("%d violations", len(violations))
+	}
+	if err := tg.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Host-level synthesis through the GENERIC pipeline also works and
+	// needs the same two switch queues.
+	sys, err := Synthesize(g, hl.Paths(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Runtime.NumSwitchTags(); got < 2 || got > 3 {
+		t.Errorf("generic host-level synthesis used %d switch tags", got)
+	}
+}

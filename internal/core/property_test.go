@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/elp"
+	"repro/internal/topology"
+)
+
+// Property: Synthesize on arbitrary random-path ELPs over Jellyfish
+// topologies always produces a verified deadlock-free system with zero
+// lossless violations — the paper's headline guarantee ("Once LP is given,
+// Tagger guarantees that there will be no deadlock").
+func TestSynthesizeAlwaysDeadlockFreeOnRandomELP(t *testing.T) {
+	f := func(seed int64, nSw, nPaths uint8) bool {
+		cfg := topology.JellyfishConfig{
+			Switches: int(nSw%12) + 4,
+			Ports:    6,
+			Seed:     seed,
+		}
+		j, err := topology.NewJellyfish(cfg)
+		if err != nil {
+			t.Logf("jellyfish: %v", err)
+			return false
+		}
+		paths := elp.RandomPaths(j.Graph, j.Switches, int(nPaths%40)+5, 6, seed^0x5ee)
+		sys, err := Synthesize(j.Graph, paths.Paths(), Options{})
+		if err != nil {
+			t.Logf("synthesize: %v", err)
+			return false
+		}
+		return sys.Runtime.Verify() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: GreedyMinimize preserves both deadlock-freedom requirements
+// and never uses more tags than brute force.
+func TestGreedyPreservesInvariants(t *testing.T) {
+	f := func(seed int64, nSw, nPaths uint8) bool {
+		cfg := topology.JellyfishConfig{
+			Switches: int(nSw%10) + 4,
+			Ports:    6,
+			Seed:     seed,
+		}
+		j, err := topology.NewJellyfish(cfg)
+		if err != nil {
+			return false
+		}
+		paths := elp.RandomPaths(j.Graph, j.Switches, int(nPaths%30)+5, 5, seed^0xabc)
+		bf := BruteForce(j.Graph, paths.Paths())
+		if bf.Verify() != nil {
+			return false
+		}
+		merged := GreedyMinimize(bf)
+		if merged.Verify() != nil {
+			return false
+		}
+		return merged.NumTags() <= bf.NumTags() && merged.NumNodes() <= bf.NumNodes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BCube with its default routing (one digit corrected per hop, all digit
+// orders) needs exactly k+1 tags for BCube(n, k) — the paper: "a k-level
+// BCube with default routing only needs k tags", where their k counts
+// levels, i.e. our k+1.
+func TestBCubeTagCount(t *testing.T) {
+	cases := []struct {
+		n, k     int
+		wantTags int
+	}{
+		{4, 1, 2},
+		{2, 2, 3},
+	}
+	for _, c := range cases {
+		b, err := topology.NewBCube(c.n, c.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := elp.BCubeELP(b, nil)
+		sys, err := Synthesize(b.Graph, s.Paths(), Options{})
+		if err != nil {
+			t.Fatalf("BCube(%d,%d): %v", c.n, c.k, err)
+		}
+		if got := sys.Runtime.NumSwitchTags(); got != c.wantTags {
+			t.Errorf("BCube(%d,%d): switch tags = %d, want %d",
+				c.n, c.k, got, c.wantTags)
+		}
+	}
+}
+
+// Jellyfish with shortest-path ELP needs very few tags (Table 5 reports 3
+// for up to 2,000 switches); a 50-switch instance must stay at or below 3.
+func TestJellyfishTagCountSmall(t *testing.T) {
+	j, err := topology.NewJellyfish(topology.JellyfishConfig{Switches: 50, Ports: 12, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := elp.ShortestAll(j.Graph, j.Switches)
+	sys, err := Synthesize(j.Graph, s.Paths(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Runtime.NumSwitchTags(); got > 3 {
+		t.Errorf("jellyfish-50 tags = %d, want <= 3 (Table 5)", got)
+	}
+	if len(sys.Conflicts) > 0 {
+		t.Logf("note: %d fabric conflicts repaired by %d rules", len(sys.Conflicts), len(sys.Repairs))
+	}
+}

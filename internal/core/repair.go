@@ -1,0 +1,122 @@
+package core
+
+import (
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// Repair records a rule synthesized by RepairReplay to restore lossless
+// coverage of an ELP path after rule-conflict resolution discarded a
+// rewrite.
+type Repair struct {
+	Rule Rule
+	Path routing.Path // the path that needed it
+}
+
+// RepairReplay replays every ELP path through the ruleset and synthesizes
+// the missing rules so that no expected lossless path ever falls into the
+// lossy queue. A missing rule (tag x, in, out) is filled with NewTag x
+// when the same-tag port graph G_x stays acyclic, and x+1 otherwise —
+// the same greedy spirit as Algorithm 2, applied at rule granularity.
+//
+// For rulesets derived without conflicts this is a no-op. It returns the
+// synthesized rules (possibly none).
+func RepairReplay(rs *Ruleset, paths []routing.Path, startTag int) []Repair {
+	g := rs.g
+	// Seed the per-tag port adjacency from every same-tag rule: this is a
+	// superset of the same-tag edges runtime traffic can create, so the
+	// incremental acyclicity checks below are conservative.
+	adj := make(map[int]map[topology.PortID][]topology.PortID)
+	ensure := func(tag int) map[topology.PortID][]topology.PortID {
+		m := adj[tag]
+		if m == nil {
+			m = make(map[topology.PortID][]topology.PortID)
+			adj[tag] = m
+		}
+		return m
+	}
+	addRuleEdge := func(r Rule) {
+		if r.Tag != r.NewTag {
+			return
+		}
+		from := g.PortOn(r.Switch, r.In)
+		peer := g.Port(g.PortOn(r.Switch, r.Out)).Peer
+		if peer == topology.InvalidNode || g.Node(peer).Kind == topology.KindHost {
+			return
+		}
+		toNum := g.PortToPeer(peer, r.Switch)
+		to := g.PortOn(peer, toNum)
+		ensure(r.Tag)[from] = append(adj[r.Tag][from], to)
+	}
+	for _, r := range rs.Rules() {
+		addRuleEdge(r)
+	}
+
+	var repairs []Repair
+	for _, p := range paths {
+		tag := startTag
+		for i := 1; i+1 < len(p); i++ { // the source stamps, it never rewrites
+			sw := p[i]
+			in := g.PortToPeer(sw, p[i-1])
+			out := g.PortToPeer(sw, p[i+1])
+			next := rs.Classify(sw, tag, in, out)
+			if next != LossyTag {
+				tag = next
+				continue
+			}
+			// Fabric miss on an expected lossless path: synthesize.
+			newTag := tag
+			from := g.PortOn(sw, in)
+			to := ingressPortID(g, sw, p[i+1])
+			m := ensure(tag)
+			m[from] = append(m[from], to)
+			if !acyclicWith(m) {
+				// Undo and bump.
+				m[from] = m[from][:len(m[from])-1]
+				newTag = tag + 1
+				rs.SetMaxTag(newTag)
+			}
+			r := Rule{Switch: sw, Tag: tag, In: in, Out: out, NewTag: newTag}
+			rs.Add(r)
+			repairs = append(repairs, Repair{Rule: r, Path: p})
+			tag = newTag
+		}
+	}
+	return repairs
+}
+
+// BuildRuleGraph replays every path through the ruleset and materializes
+// the runtime tagged graph: the (ingress port, tag) vertices and edges
+// that actual packets on those paths traverse. This is the graph whose
+// acyclicity-per-tag and monotonicity determine real deadlock freedom —
+// the authoritative object to Verify.
+//
+// Lossy transitions produce no vertices or edges: packets in the lossy
+// queue never generate PFC and so never contribute buffer dependencies.
+// It also returns the paths that did not stay lossless (empty when the
+// ruleset fully covers the ELP).
+func BuildRuleGraph(rs *Ruleset, paths []routing.Path, startTag int) (*TaggedGraph, []routing.Path) {
+	tg := NewTaggedGraph(rs.g)
+	var violations []routing.Path
+	for _, p := range paths {
+		res := rs.Replay(p, startTag)
+		if !res.Lossless {
+			violations = append(violations, p)
+		}
+		var last TagNode
+		haveLast := false
+		for i := 1; i < len(p); i++ {
+			tag := res.Tags[i-1]
+			if tag == LossyTag {
+				break
+			}
+			n := TagNode{Port: ingressPortID(rs.g, p[i-1], p[i]), Tag: tag}
+			tg.AddNode(n)
+			if haveLast {
+				tg.AddEdge(last, n)
+			}
+			last, haveLast = n, true
+		}
+	}
+	return tg, violations
+}

@@ -1,0 +1,291 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// LossyTag is the reserved tag for packets that left the expected lossless
+// paths. Switches map it to a lossy queue; it can only be assigned, never
+// escaped (§4: the lossy fallback is the safeguard rule at the end of the
+// TCAM list).
+const LossyTag = 0
+
+// Rule is one tag-rewriting match-action entry of the paper's conceptual
+// switch model: a packet that arrived on ingress port In carrying Tag and
+// is about to leave on egress port Out has its tag rewritten to NewTag.
+type Rule struct {
+	Switch topology.NodeID
+	Tag    int
+	In     int // ingress port number on Switch
+	Out    int // egress port number on Switch
+	NewTag int
+}
+
+type ruleKey struct {
+	sw      topology.NodeID
+	tag     int
+	in, out int
+}
+
+// Conflict records two tagged-graph edges that demand different rewrites
+// for the same (switch, tag, in, out) match. Conflicts can arise when
+// Algorithm 2 merges two old tags at a port but splits their successors;
+// DeriveRules resolves them by keeping the larger NewTag (monotonicity is
+// preserved and the packet continues on vertices that exist in the graph)
+// and reports them so RepairReplay can restore full ELP coverage.
+type Conflict struct {
+	Rule        Rule // the rule that was kept
+	LoserNewTag int  // the rewrite that was discarded
+}
+
+// Ruleset is the per-switch tag rewriting table plus the implicit
+// boundary behavior of the deployment (§7):
+//
+//   - ingress from a host-facing port keeps the packet's NIC-stamped tag
+//     (injection; hosts stamp tag 1, or their class's start tag);
+//   - egress to a host-facing port keeps the tag (delivery: the packet is
+//     leaving the fabric);
+//   - any other miss assigns LossyTag — the TCAM safeguard entry.
+type Ruleset struct {
+	g       *topology.Graph
+	rules   map[ruleKey]int
+	maxTag  int // largest lossless tag any rule can assign or match
+	isHostP map[topology.PortID]bool
+}
+
+// NewRuleset returns an empty ruleset over g with the given largest
+// lossless tag.
+func NewRuleset(g *topology.Graph, maxTag int) *Ruleset {
+	rs := &Ruleset{
+		g:       g,
+		rules:   make(map[ruleKey]int),
+		maxTag:  maxTag,
+		isHostP: make(map[topology.PortID]bool),
+	}
+	for _, h := range g.Hosts() {
+		var nbuf []topology.NodeID
+		nbuf = g.Neighbors(h, nbuf)
+		for _, sw := range nbuf {
+			p := g.PortToPeer(sw, h)
+			if p >= 0 {
+				rs.isHostP[g.PortOn(sw, p)] = true
+			}
+		}
+	}
+	return rs
+}
+
+// Graph returns the topology the rules are installed over.
+func (rs *Ruleset) Graph() *topology.Graph { return rs.g }
+
+// MaxTag returns the largest lossless tag.
+func (rs *Ruleset) MaxTag() int { return rs.maxTag }
+
+// SetMaxTag raises the largest lossless tag (RepairReplay may need to).
+func (rs *Ruleset) SetMaxTag(t int) {
+	if t > rs.maxTag {
+		rs.maxTag = t
+	}
+}
+
+// IsLossless reports whether tag is one of the lossless tags.
+func (rs *Ruleset) IsLossless(tag int) bool { return tag >= 1 && tag <= rs.maxTag }
+
+// HostFacing reports whether port num on sw attaches a host.
+func (rs *Ruleset) HostFacing(sw topology.NodeID, num int) bool {
+	return rs.isHostP[rs.g.PortOn(sw, num)]
+}
+
+// Add installs a rule, returning the previously installed NewTag and true
+// if the key already existed with a different rewrite (the caller decides
+// the resolution; Add keeps the new value).
+func (rs *Ruleset) Add(r Rule) (old int, conflicted bool) {
+	k := ruleKey{r.Switch, r.Tag, r.In, r.Out}
+	if prev, ok := rs.rules[k]; ok && prev != r.NewTag {
+		rs.rules[k] = r.NewTag
+		if r.NewTag > rs.maxTag {
+			rs.maxTag = r.NewTag
+		}
+		return prev, true
+	}
+	rs.rules[k] = r.NewTag
+	if r.NewTag > rs.maxTag {
+		rs.maxTag = r.NewTag
+	}
+	return 0, false
+}
+
+// Lookup returns the exact-match rewrite for (sw, tag, in, out).
+func (rs *Ruleset) Lookup(sw topology.NodeID, tag, in, out int) (int, bool) {
+	v, ok := rs.rules[ruleKey{sw, tag, in, out}]
+	return v, ok
+}
+
+// Classify runs the full §7 pipeline decision for a packet at switch sw
+// that arrived on ingress port in with the given tag and is destined for
+// egress port out. It returns the packet's new tag; LossyTag means the
+// packet must be enqueued lossy.
+func (rs *Ruleset) Classify(sw topology.NodeID, tag, in, out int) int {
+	if !rs.IsLossless(tag) {
+		return LossyTag // once lossy, always lossy
+	}
+	if nt, ok := rs.Lookup(sw, tag, in, out); ok {
+		return nt // exact TCAM entries precede the defaults
+	}
+	if rs.HostFacing(sw, in) {
+		return tag // injection: trust the NIC stamp
+	}
+	if rs.HostFacing(sw, out) {
+		return tag // delivery: leaving the fabric
+	}
+	return LossyTag
+}
+
+// Len returns the number of installed rules.
+func (rs *Ruleset) Len() int { return len(rs.rules) }
+
+// Rules returns all rules in deterministic order.
+func (rs *Ruleset) Rules() []Rule {
+	out := make([]Rule, 0, len(rs.rules))
+	for k, nt := range rs.rules {
+		out = append(out, Rule{Switch: k.sw, Tag: k.tag, In: k.in, Out: k.out, NewTag: nt})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Switch != b.Switch {
+			return a.Switch < b.Switch
+		}
+		if a.Tag != b.Tag {
+			return a.Tag < b.Tag
+		}
+		if a.In != b.In {
+			return a.In < b.In
+		}
+		return a.Out < b.Out
+	})
+	return out
+}
+
+// RulesAt returns the rules installed at one switch, in the same order.
+func (rs *Ruleset) RulesAt(sw topology.NodeID) []Rule {
+	var out []Rule
+	for _, r := range rs.Rules() {
+		if r.Switch == sw {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// DeriveRules converts a tagged graph into the match-action rules each
+// switch needs: edge (A_i, x) -> (B_j, y) becomes the rule at A matching
+// (tag x, InPort i, OutPort toward B) rewriting to y. Edges whose tail
+// port is on a host (host-level ELP paths) produce no rule — hosts stamp
+// tags, they do not rewrite them.
+//
+// When two edges demand different rewrites for the same match (see
+// Conflict), the larger NewTag wins.
+func DeriveRules(tg *TaggedGraph) (*Ruleset, []Conflict) {
+	rs := NewRuleset(tg.g, tg.maxTag)
+	var conflicts []Conflict
+	for _, e := range tg.Edges() {
+		fromPort := tg.g.Port(e.From.Port)
+		toPort := tg.g.Port(e.To.Port)
+		sw := fromPort.Node
+		if tg.g.Node(sw).Kind == topology.KindHost {
+			continue // hosts stamp, they do not rewrite
+		}
+		out := tg.g.PortToPeer(sw, toPort.Node)
+		if out < 0 {
+			panic(fmt.Sprintf("core: tagged edge between non-adjacent %s and %s",
+				tg.g.Node(sw).Name, tg.g.Node(toPort.Node).Name))
+		}
+		r := Rule{Switch: sw, Tag: e.From.Tag, In: fromPort.Num, Out: out, NewTag: e.To.Tag}
+		if prev, ok := rs.Lookup(sw, r.Tag, r.In, r.Out); ok && prev != r.NewTag {
+			// Keep the smaller rewrite: both candidates are >= the match
+			// tag (monotonic either way) and both target vertices exist in
+			// the graph, but the smaller one leaves more headroom for
+			// RepairReplay to patch the losing family's continuation
+			// without minting a new tag. Conflicts on host-facing egress
+			// are benign — the tag is leaving the fabric and pauses
+			// nothing downstream — so only fabric conflicts are reported.
+			benign := tg.g.Node(toPort.Node).Kind == topology.KindHost
+			if prev < r.NewTag {
+				if !benign {
+					conflicts = append(conflicts, Conflict{
+						Rule:        Rule{Switch: sw, Tag: r.Tag, In: r.In, Out: r.Out, NewTag: prev},
+						LoserNewTag: r.NewTag,
+					})
+				}
+				continue
+			}
+			if !benign {
+				conflicts = append(conflicts, Conflict{Rule: r, LoserNewTag: prev})
+			}
+		}
+		rs.Add(r)
+	}
+	return rs, conflicts
+}
+
+// ReplayResult is the outcome of pushing one ELP path through a ruleset.
+type ReplayResult struct {
+	Tags     []int // tag carried on arrival at each node after the first
+	Lossless bool  // true iff the packet stayed lossless end to end
+	DropHop  int   // index into the path of the switch where it went lossy (-1)
+}
+
+// Replay walks one path through the ruleset, starting with the NIC stamp
+// startTag, and reports the tag sequence. It is the runtime ground truth:
+// whatever the tagged graph says, the switches execute this.
+func (rs *Ruleset) Replay(p routing.Path, startTag int) ReplayResult {
+	res := ReplayResult{Lossless: true, DropHop: -1}
+	g := rs.g
+	tag := startTag
+	for i := 0; i+1 < len(p); i++ {
+		if i == 0 {
+			// The source — a host NIC, a relay server, or (for
+			// switch-level paths) the edge switch whose host-facing
+			// injection default applies — stamps the start tag.
+			res.Tags = append(res.Tags, tag)
+			continue
+		}
+		sw := p[i]
+		in := g.PortToPeer(sw, p[i-1])
+		out := g.PortToPeer(sw, p[i+1])
+		tag = rs.Classify(sw, tag, in, out)
+		if tag == LossyTag {
+			res.Lossless = false
+			res.DropHop = i
+			// Tag stays lossy for the remaining hops.
+			for j := i; j+1 < len(p); j++ {
+				res.Tags = append(res.Tags, LossyTag)
+			}
+			return res
+		}
+		res.Tags = append(res.Tags, tag)
+	}
+	return res
+}
+
+// Priorities returns per-hop lossless priorities for a path under this
+// ruleset: entry i is the priority occupied on arrival at path node i+1,
+// with -1 for lossy hops. It adapts Replay for buffer-dependency analysis
+// (package cbd), where tags are priorities and lossy hops contribute no
+// dependencies.
+func (rs *Ruleset) Priorities(p routing.Path, startTag int) []int {
+	res := rs.Replay(p, startTag)
+	out := make([]int, len(res.Tags))
+	for i, t := range res.Tags {
+		if t == LossyTag {
+			out[i] = -1
+		} else {
+			out[i] = t
+		}
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/elp"
+	"repro/internal/paper"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// TestShortcutTopologySynthesis covers §6 "Flexible topology
+// architectures": graft a Helios/Flyways-style ToR-to-ToR shortcut onto
+// the testbed Clos, include shortcut paths in the ELP, and synthesize —
+// the generic pipeline must produce a verified deadlock-free system.
+func TestShortcutTopologySynthesis(t *testing.T) {
+	c := paper.Testbed()
+	g := c.Graph
+	t1, t3 := g.MustLookup("T1"), g.MustLookup("T3")
+	if _, err := topology.AddShortcut(g, t1, t3); err != nil {
+		t.Fatal(err)
+	}
+
+	// ELP: the usual up-down paths plus cross-pod traffic using the
+	// shortcut (1 hop instead of 4).
+	set := elp.UpDownAll(g, c.ToRs)
+	set.MustAdd(g, routing.Path{t1, t3})
+	set.MustAdd(g, routing.Path{t3, t1})
+	// Shortcut + partial climb: T2 reaches T3 via T1's shortcut.
+	t2, t4 := g.MustLookup("T2"), g.MustLookup("T4")
+	l1 := g.MustLookup("L1")
+	set.MustAdd(g, routing.Path{t2, l1, t1, t3})
+	set.MustAdd(g, routing.Path{t1, t3, g.MustLookup("L3"), t4})
+
+	sys, err := Synthesize(g, set.Paths(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Runtime.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// The shortcut-augmented fabric needs few tags.
+	if got := sys.Runtime.NumSwitchTags(); got > 3 {
+		t.Errorf("shortcut Clos needs %d tags", got)
+	}
+	// The shortcut paths are fully lossless.
+	for _, p := range set.Paths() {
+		if res := sys.Rules.Replay(p, 1); !res.Lossless {
+			t.Errorf("path %s lossy", p.String(g))
+		}
+	}
+}
+
+func TestShortcutValidation(t *testing.T) {
+	c := paper.Testbed()
+	g := c.Graph
+	t1 := g.MustLookup("T1")
+	if _, err := topology.AddShortcut(g, t1, t1); err == nil {
+		t.Error("self shortcut accepted")
+	}
+	if _, err := topology.AddShortcut(g, t1, g.MustLookup("L1")); err == nil {
+		t.Error("cross-layer shortcut accepted")
+	}
+	if _, err := topology.AddShortcut(g, t1, g.MustLookup("H1")); err == nil {
+		t.Error("host shortcut accepted")
+	}
+	if _, err := topology.AddShortcut(g, t1, g.MustLookup("T2")); err != nil {
+		t.Errorf("valid shortcut rejected: %v", err)
+	}
+	if _, err := topology.AddShortcut(g, t1, g.MustLookup("T2")); err == nil {
+		t.Error("duplicate shortcut accepted")
+	}
+}

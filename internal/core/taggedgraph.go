@@ -1,0 +1,267 @@
+// Package core implements the Tagger tagging system from "Tagger:
+// Practical PFC Deadlock Prevention in Data Center Networks" (Hu et al.,
+// CoNEXT 2017): the tagged graph G(V,E) over (ingress port, tag) pairs,
+// Algorithm 1 (brute-force per-hop tagging), Algorithm 2 (greedy tag
+// merging), the Clos-specific optimal scheme, match-action rule synthesis,
+// and the deadlock-freedom verifier for the two requirements of §5.1.
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// TagNode is a vertex of the tagged graph: the paper's "(A_i, x)" — switch
+// A's ingress port i may receive lossless packets carrying tag x.
+type TagNode struct {
+	Port topology.PortID
+	Tag  int
+}
+
+// TagEdge is a directed edge of the tagged graph: "(A_i, x) -> (B_j, y)" —
+// switch A may forward a packet that arrived on A_i with tag x out toward
+// B (arriving on B's port j) after rewriting its tag to y.
+type TagEdge struct {
+	From, To TagNode
+}
+
+// TaggedGraph is the paper's G(V, E). It indexes edges both ways so the
+// verifier and Algorithm 2 can walk it efficiently.
+type TaggedGraph struct {
+	g       *topology.Graph
+	nodes   map[TagNode]struct{}
+	succ    map[TagNode][]TagNode
+	pred    map[TagNode][]TagNode
+	edgeSet map[TagEdge]struct{}
+	maxTag  int
+}
+
+// NewTaggedGraph returns an empty tagged graph over the given topology.
+func NewTaggedGraph(g *topology.Graph) *TaggedGraph {
+	return &TaggedGraph{
+		g:       g,
+		nodes:   make(map[TagNode]struct{}),
+		succ:    make(map[TagNode][]TagNode),
+		pred:    make(map[TagNode][]TagNode),
+		edgeSet: make(map[TagEdge]struct{}),
+	}
+}
+
+// Graph returns the underlying topology.
+func (tg *TaggedGraph) Graph() *topology.Graph { return tg.g }
+
+// AddNode inserts a (port, tag) vertex.
+func (tg *TaggedGraph) AddNode(n TagNode) {
+	if _, ok := tg.nodes[n]; ok {
+		return
+	}
+	tg.nodes[n] = struct{}{}
+	if n.Tag > tg.maxTag {
+		tg.maxTag = n.Tag
+	}
+}
+
+// AddEdge inserts both endpoints and the directed edge between them.
+func (tg *TaggedGraph) AddEdge(from, to TagNode) {
+	tg.AddNode(from)
+	tg.AddNode(to)
+	e := TagEdge{from, to}
+	if _, ok := tg.edgeSet[e]; ok {
+		return
+	}
+	tg.edgeSet[e] = struct{}{}
+	tg.succ[from] = append(tg.succ[from], to)
+	tg.pred[to] = append(tg.pred[to], from)
+}
+
+// HasNode reports whether the vertex exists.
+func (tg *TaggedGraph) HasNode(n TagNode) bool {
+	_, ok := tg.nodes[n]
+	return ok
+}
+
+// HasEdge reports whether the directed edge exists.
+func (tg *TaggedGraph) HasEdge(from, to TagNode) bool {
+	_, ok := tg.edgeSet[TagEdge{from, to}]
+	return ok
+}
+
+// NumNodes returns |V|.
+func (tg *TaggedGraph) NumNodes() int { return len(tg.nodes) }
+
+// NumEdges returns |E|.
+func (tg *TaggedGraph) NumEdges() int { return len(tg.edgeSet) }
+
+// MaxTag returns the paper's T: the largest tag of any vertex.
+func (tg *TaggedGraph) MaxTag() int { return tg.maxTag }
+
+// Tags returns the sorted set of distinct tags in use. Its length is the
+// number of lossless priorities the tagging system needs.
+func (tg *TaggedGraph) Tags() []int {
+	seen := map[int]bool{}
+	for n := range tg.nodes {
+		seen[n.Tag] = true
+	}
+	out := make([]int, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// NumTags returns the number of distinct tags (lossless priorities used).
+func (tg *TaggedGraph) NumTags() int { return len(tg.Tags()) }
+
+// SwitchTags returns the sorted distinct tags appearing on the ingress
+// ports of forwarding nodes (switches, and relay servers in
+// server-centric topologies). This is the number of lossless queues the
+// system needs: tags that appear only on plain host ingress (the final
+// hop of host-level paths) consume no switch queue.
+func (tg *TaggedGraph) SwitchTags() []int {
+	seen := map[int]bool{}
+	for n := range tg.nodes {
+		owner := tg.g.Port(n.Port).Node
+		if tg.g.Node(owner).Kind.Forwards() {
+			seen[n.Tag] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// NumSwitchTags returns len(SwitchTags()).
+func (tg *TaggedGraph) NumSwitchTags() int { return len(tg.SwitchTags()) }
+
+// Nodes returns all vertices in a deterministic order.
+func (tg *TaggedGraph) Nodes() []TagNode {
+	out := make([]TagNode, 0, len(tg.nodes))
+	for n := range tg.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Tag != out[j].Tag {
+			return out[i].Tag < out[j].Tag
+		}
+		return out[i].Port < out[j].Port
+	})
+	return out
+}
+
+// Edges returns all edges in a deterministic order.
+func (tg *TaggedGraph) Edges() []TagEdge {
+	out := make([]TagEdge, 0, len(tg.edgeSet))
+	for e := range tg.edgeSet {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.From != b.From {
+			if a.From.Tag != b.From.Tag {
+				return a.From.Tag < b.From.Tag
+			}
+			return a.From.Port < b.From.Port
+		}
+		if a.To.Tag != b.To.Tag {
+			return a.To.Tag < b.To.Tag
+		}
+		return a.To.Port < b.To.Port
+	})
+	return out
+}
+
+// Succ returns the successor list of n (shared slice; do not modify).
+func (tg *TaggedGraph) Succ(n TagNode) []TagNode { return tg.succ[n] }
+
+// Pred returns the predecessor list of n (shared slice; do not modify).
+func (tg *TaggedGraph) Pred(n TagNode) []TagNode { return tg.pred[n] }
+
+// NodeString renders a vertex using the paper's (A_i, x) notation.
+func (tg *TaggedGraph) NodeString(n TagNode) string {
+	p := tg.g.Port(n.Port)
+	return fmt.Sprintf("(%s_%d,%d)", tg.g.Node(p.Node).Name, p.Num, n.Tag)
+}
+
+// Dump renders the tagged graph grouped by tag, in the style of the
+// paper's Figure 5(b)/(c): each G_k's vertices in (Switch_port, tag)
+// notation followed by the cross-tag edges.
+func (tg *TaggedGraph) Dump(w io.Writer) {
+	for _, k := range tg.Tags() {
+		fmt.Fprintf(w, "G_%d:", k)
+		for _, n := range tg.Nodes() {
+			if n.Tag == k {
+				fmt.Fprintf(w, " %s", tg.NodeString(n))
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "edges:")
+	for _, e := range tg.Edges() {
+		arrow := "->"
+		if e.From.Tag != e.To.Tag {
+			arrow = "=>" // tag transition
+		}
+		fmt.Fprintf(w, "  %s %s %s\n", tg.NodeString(e.From), arrow, tg.NodeString(e.To))
+	}
+}
+
+// subgraphPerTag builds, for tag k, the paper's G_k: a directed graph over
+// ports whose edges are the tagged edges with both endpoints carrying k.
+func (tg *TaggedGraph) subgraphPerTag(k int) map[topology.PortID][]topology.PortID {
+	adj := make(map[topology.PortID][]topology.PortID)
+	for e := range tg.edgeSet {
+		if e.From.Tag == k && e.To.Tag == k {
+			adj[e.From.Port] = append(adj[e.From.Port], e.To.Port)
+		}
+	}
+	return adj
+}
+
+// ingressPortID returns the global port of node `to` that faces node
+// `from`, panicking when the nodes are not adjacent: tagged graphs are
+// built from validated paths, so non-adjacency is a programming error.
+func ingressPortID(g *topology.Graph, from, to topology.NodeID) topology.PortID {
+	num := g.PortToPeer(to, from)
+	if num < 0 {
+		panic(fmt.Sprintf("core: %s and %s are not adjacent",
+			g.Node(from).Name, g.Node(to).Name))
+	}
+	return g.PortOn(to, num)
+}
+
+// BruteForce implements the paper's Algorithm 1: walk every expected
+// lossless path and increase the tag by one at every hop. The resulting
+// tagged graph trivially satisfies both deadlock-freedom requirements:
+// each G_k has no edges at all (every edge goes k -> k+1), and every tag
+// change is monotonic.
+//
+// Tags start at 1 on the first hop: for a path n0 > n1 > ... > nm the
+// vertex at n1's ingress carries tag 1 and the vertex at nm's ingress
+// carries tag m, matching the walk-through in the paper's Figure 5 /
+// Table 3 where tag T+1 appears only at destination endpoints.
+func BruteForce(g *topology.Graph, paths []routing.Path) *TaggedGraph {
+	tg := NewTaggedGraph(g)
+	for _, r := range paths {
+		tag := 1
+		var last TagNode
+		haveLast := false
+		for i := 1; i < len(r); i++ {
+			n := TagNode{Port: ingressPortID(g, r[i-1], r[i]), Tag: tag}
+			tg.AddNode(n)
+			if haveLast {
+				tg.AddEdge(last, n)
+			}
+			last, haveLast = n, true
+			tag++
+		}
+	}
+	return tg
+}

@@ -1,0 +1,156 @@
+// Package deploy serializes a synthesized Tagger system into the bundle
+// an operator (or the SDN controller of §6) pushes to switches, and
+// computes the rule diffs topology changes require. The format is plain
+// JSON keyed by switch name, stable across runs, so bundles can be
+// version-controlled and diffed like any other network config.
+package deploy
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+// RuleJSON is one match-action entry in the bundle.
+type RuleJSON struct {
+	Tag    int `json:"tag"`
+	In     int `json:"in"`
+	Out    int `json:"out"`
+	NewTag int `json:"newTag"`
+}
+
+// SwitchBundle is everything one switch needs.
+type SwitchBundle struct {
+	Rules []RuleJSON `json:"rules"`
+}
+
+// Bundle is the fabric-wide deployment artifact.
+type Bundle struct {
+	// MaxTag is the largest lossless tag; switches map tags 1..MaxTag to
+	// lossless priorities and everything else to the lossy queue.
+	MaxTag int `json:"maxTag"`
+	// Switches maps switch name to its rules.
+	Switches map[string]SwitchBundle `json:"switches"`
+}
+
+// Export converts a ruleset into a bundle.
+func Export(rs *core.Ruleset) *Bundle {
+	g := rs.Graph()
+	b := &Bundle{MaxTag: rs.MaxTag(), Switches: make(map[string]SwitchBundle)}
+	for _, r := range rs.Rules() {
+		name := g.Node(r.Switch).Name
+		sb := b.Switches[name]
+		sb.Rules = append(sb.Rules, RuleJSON{Tag: r.Tag, In: r.In, Out: r.Out, NewTag: r.NewTag})
+		b.Switches[name] = sb
+	}
+	return b
+}
+
+// Marshal renders the bundle as deterministic, indented JSON.
+func (b *Bundle) Marshal() ([]byte, error) {
+	for _, sb := range b.Switches {
+		sort.Slice(sb.Rules, func(i, j int) bool {
+			a, c := sb.Rules[i], sb.Rules[j]
+			if a.Tag != c.Tag {
+				return a.Tag < c.Tag
+			}
+			if a.In != c.In {
+				return a.In < c.In
+			}
+			return a.Out < c.Out
+		})
+	}
+	return json.MarshalIndent(b, "", "  ")
+}
+
+// Unmarshal parses a bundle.
+func Unmarshal(data []byte) (*Bundle, error) {
+	var b Bundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("deploy: %w", err)
+	}
+	return &b, nil
+}
+
+// Import reconstructs a ruleset over the given topology. Switch names
+// must resolve; unknown names are an error (the bundle belongs to a
+// different fabric).
+func Import(g *topology.Graph, b *Bundle) (*core.Ruleset, error) {
+	rs := core.NewRuleset(g, b.MaxTag)
+	for name, sb := range b.Switches {
+		id, ok := g.Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("deploy: bundle references unknown switch %q", name)
+		}
+		for _, r := range sb.Rules {
+			rs.Add(core.Rule{Switch: id, Tag: r.Tag, In: r.In, Out: r.Out, NewTag: r.NewTag})
+		}
+	}
+	return rs, nil
+}
+
+// SwitchDiff lists the rule changes one switch needs.
+type SwitchDiff struct {
+	Added   []RuleJSON
+	Removed []RuleJSON
+}
+
+// Empty reports whether the switch needs no changes.
+func (d SwitchDiff) Empty() bool { return len(d.Added) == 0 && len(d.Removed) == 0 }
+
+// Diff computes per-switch changes from old to new bundle. Switches
+// absent from a side are treated as having no rules there.
+func Diff(oldB, newB *Bundle) map[string]SwitchDiff {
+	out := make(map[string]SwitchDiff)
+	names := map[string]bool{}
+	for n := range oldB.Switches {
+		names[n] = true
+	}
+	for n := range newB.Switches {
+		names[n] = true
+	}
+	key := func(r RuleJSON) string { return fmt.Sprintf("%d/%d/%d>%d", r.Tag, r.In, r.Out, r.NewTag) }
+	for n := range names {
+		oldSet := map[string]RuleJSON{}
+		for _, r := range oldB.Switches[n].Rules {
+			oldSet[key(r)] = r
+		}
+		newSet := map[string]RuleJSON{}
+		for _, r := range newB.Switches[n].Rules {
+			newSet[key(r)] = r
+		}
+		var d SwitchDiff
+		for k, r := range newSet {
+			if _, ok := oldSet[k]; !ok {
+				d.Added = append(d.Added, r)
+			}
+		}
+		for k, r := range oldSet {
+			if _, ok := newSet[k]; !ok {
+				d.Removed = append(d.Removed, r)
+			}
+		}
+		if !d.Empty() {
+			sortRules(d.Added)
+			sortRules(d.Removed)
+			out[n] = d
+		}
+	}
+	return out
+}
+
+func sortRules(rs []RuleJSON) {
+	sort.Slice(rs, func(i, j int) bool {
+		a, c := rs[i], rs[j]
+		if a.Tag != c.Tag {
+			return a.Tag < c.Tag
+		}
+		if a.In != c.In {
+			return a.In < c.In
+		}
+		return a.Out < c.Out
+	})
+}

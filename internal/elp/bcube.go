@@ -1,0 +1,94 @@
+package elp
+
+import (
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// BCubeELP enumerates the default BCube routing paths between every
+// ordered pair of the given servers: for each pair, one path per
+// permutation of the differing address digits, correcting one digit per
+// hop through the corresponding level's switch (Guo et al., SIGCOMM 2009).
+// This is the path diversity BCube actually uses, and the ELP for which
+// the Tagger paper reports that a k-level BCube needs k tags.
+//
+// endpoints must be server nodes of b; nil means all servers.
+func BCubeELP(b *topology.BCube, endpoints []topology.NodeID) *Set {
+	if endpoints == nil {
+		endpoints = b.Servers
+	}
+	s := NewSet()
+	for _, src := range endpoints {
+		for _, dst := range endpoints {
+			if src == dst {
+				continue
+			}
+			sa, ok := b.ServerNumber(src)
+			if !ok {
+				continue
+			}
+			da, ok := b.ServerNumber(dst)
+			if !ok {
+				continue
+			}
+			var diff []int
+			for l := 0; l <= b.K; l++ {
+				if b.Digit(sa, l) != b.Digit(da, l) {
+					diff = append(diff, l)
+				}
+			}
+			permute(diff, func(order []int) {
+				if p := bcubePath(b, sa, da, order); p != nil {
+					s.MustAdd(b.Graph, p)
+				}
+			})
+		}
+	}
+	return s
+}
+
+// bcubePath builds the path from server sa to server da correcting digits
+// in the given level order.
+func bcubePath(b *topology.BCube, sa, da int, order []int) routing.Path {
+	pow := make([]int, b.K+2)
+	pow[0] = 1
+	for i := 1; i <= b.K+1; i++ {
+		pow[i] = pow[i-1] * b.N
+	}
+	cur := sa
+	p := routing.Path{b.Servers[cur]}
+	for _, l := range order {
+		// The level-l switch both cur and next attach to: cur's address
+		// with digit l removed.
+		swIdx := (cur/pow[l+1])*pow[l] + cur%pow[l]
+		next := cur + (b.Digit(da, l)-b.Digit(cur, l))*pow[l]
+		p = append(p, b.Switches[l][swIdx], b.Servers[next])
+		cur = next
+	}
+	if cur != da {
+		return nil
+	}
+	return p
+}
+
+// permute calls f with every permutation of s (s is reused; f must not
+// retain it).
+func permute(s []int, f func([]int)) {
+	if len(s) == 0 {
+		f(s)
+		return
+	}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == len(s) {
+			f(s)
+			return
+		}
+		for i := k; i < len(s); i++ {
+			s[k], s[i] = s[i], s[k]
+			rec(k + 1)
+			s[k], s[i] = s[i], s[k]
+		}
+	}
+	rec(0)
+}

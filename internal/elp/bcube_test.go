@@ -1,0 +1,123 @@
+package elp
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestBCubeELPStructure(t *testing.T) {
+	b, err := topology.NewBCube(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := BCubeELP(b, nil)
+	// 4 servers, 12 ordered pairs. Pairs differing in one digit have one
+	// path; pairs differing in both digits have 2 (two digit orders):
+	// per server: 2 one-digit peers + 1 two-digit peer => 2*1 + 1*2 = 4
+	// paths; 4 servers => 16.
+	if s.Len() != 16 {
+		t.Fatalf("paths = %d, want 16", s.Len())
+	}
+	g := b.Graph
+	for _, p := range s.Paths() {
+		if !p.LoopFree() || !p.Valid(g) {
+			t.Errorf("bad path %s", p.String(g))
+		}
+		// BCube paths alternate server, switch, server, ...
+		for i, n := range p {
+			isSwitch := g.Node(n).Kind.IsSwitch()
+			if (i%2 == 1) != isSwitch {
+				t.Errorf("path %s does not alternate at %d", p.String(g), i)
+			}
+		}
+		// Endpoints are servers.
+		if g.Node(p.Src()).Kind != topology.KindRelayHost ||
+			g.Node(p.Dst()).Kind != topology.KindRelayHost {
+			t.Errorf("endpoints of %s", p.String(g))
+		}
+	}
+}
+
+func TestBCubeELPDigitCorrection(t *testing.T) {
+	// Each hop corrects exactly one address digit.
+	b, err := topology.NewBCube(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := BCubeELP(b, b.Servers[:4])
+	for _, p := range s.Paths() {
+		// Server nodes appear at even indices; consecutive servers differ
+		// in exactly one digit.
+		for i := 0; i+2 < len(p); i += 2 {
+			a, _ := b.ServerNumber(p[i])
+			c, _ := b.ServerNumber(p[i+2])
+			diff := 0
+			for l := 0; l <= b.K; l++ {
+				if b.Digit(a, l) != b.Digit(c, l) {
+					diff++
+				}
+			}
+			if diff != 1 {
+				t.Errorf("path %s: hop corrects %d digits", p.String(b.Graph), diff)
+			}
+		}
+	}
+}
+
+func TestBCubeELPSubsetEndpoints(t *testing.T) {
+	b, err := topology.NewBCube(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := b.Servers[:3]
+	s := BCubeELP(b, sub)
+	for _, p := range s.Paths() {
+		srcOK, dstOK := false, false
+		for _, e := range sub {
+			if p.Src() == e {
+				srcOK = true
+			}
+			if p.Dst() == e {
+				dstOK = true
+			}
+		}
+		if !srcOK || !dstOK {
+			t.Errorf("path %s escapes the endpoint subset", p.String(b.Graph))
+		}
+	}
+	// Servers differing in all 3 digits have 3! = 6 paths.
+	s0, s7 := b.Servers[0], b.Servers[7]
+	all := BCubeELP(b, []topology.NodeID{s0, s7})
+	if all.Len() != 12 { // 6 each direction
+		t.Errorf("3-digit pair paths = %d, want 12", all.Len())
+	}
+}
+
+func TestPermute(t *testing.T) {
+	var got [][]int
+	permute([]int{1, 2, 3}, func(s []int) {
+		cp := append([]int(nil), s...)
+		got = append(got, cp)
+	})
+	if len(got) != 6 {
+		t.Fatalf("permutations = %d", len(got))
+	}
+	seen := map[string]bool{}
+	for _, p := range got {
+		k := ""
+		for _, v := range p {
+			k += string(rune('0' + v))
+		}
+		if seen[k] {
+			t.Fatalf("duplicate permutation %s", k)
+		}
+		seen[k] = true
+	}
+	// Empty input: one call with the empty slice.
+	calls := 0
+	permute(nil, func([]int) { calls++ })
+	if calls != 1 {
+		t.Errorf("empty permute calls = %d", calls)
+	}
+}

@@ -1,0 +1,46 @@
+package elp
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func BenchmarkKBounceTestbed(b *testing.B) {
+	c, err := topology.NewClos(topology.PaperTestbed())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if KBounce(c.Graph, c.ToRs, 1, nil).Len() == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkShortestAllJellyfish100(b *testing.B) {
+	j, err := topology.NewJellyfish(topology.JellyfishConfig{Switches: 100, Ports: 16, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ShortestAll(j.Graph, j.Switches).Len() == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkBCubeELP(b *testing.B) {
+	bc, err := topology.NewBCube(4, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if BCubeELP(bc, nil).Len() == 0 {
+			b.Fatal("empty")
+		}
+	}
+}

@@ -1,0 +1,390 @@
+// Package elp builds and validates Expected Lossless Path (ELP) sets.
+//
+// An ELP set is the operator-supplied input to Tagger (§4.1 of the paper):
+// the routes that must remain lossless. Any loop-free route may be
+// included. This package provides the enumerators the paper's evaluation
+// uses: all shortest up-down paths on Clos, paths with up to k bounces,
+// per-pair shortest paths on arbitrary topologies (Jellyfish, BCube), and
+// extra random paths (Table 5's last row).
+package elp
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// Set is a deduplicated collection of loop-free expected lossless paths.
+type Set struct {
+	paths []routing.Path
+	keys  map[string]bool
+}
+
+// NewSet returns an empty ELP set.
+func NewSet() *Set {
+	return &Set{keys: make(map[string]bool)}
+}
+
+// Add validates and inserts a path; duplicates are ignored. It returns an
+// error for paths that are empty, contain a repeated node, or traverse
+// non-adjacent node pairs.
+func (s *Set) Add(g *topology.Graph, p routing.Path) error {
+	if len(p) == 0 {
+		return fmt.Errorf("elp: empty path")
+	}
+	if !p.LoopFree() {
+		return fmt.Errorf("elp: path %s has a loop", p.String(g))
+	}
+	if !p.Valid(g) {
+		return fmt.Errorf("elp: path %s traverses non-adjacent nodes", p.String(g))
+	}
+	if s.keys == nil {
+		s.keys = make(map[string]bool)
+	}
+	k := p.Key()
+	if s.keys[k] {
+		return nil
+	}
+	s.keys[k] = true
+	s.paths = append(s.paths, p)
+	return nil
+}
+
+// MustAdd is Add that panics on invalid paths; for fixed test fixtures.
+func (s *Set) MustAdd(g *topology.Graph, p routing.Path) {
+	if err := s.Add(g, p); err != nil {
+		panic(err)
+	}
+}
+
+// AddAll adds every path, returning the first validation error.
+func (s *Set) AddAll(g *topology.Graph, paths []routing.Path) error {
+	for _, p := range paths {
+		if err := s.Add(g, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Paths returns the paths in insertion order. The slice is shared; do not
+// modify it.
+func (s *Set) Paths() []routing.Path { return s.paths }
+
+// Len returns the number of distinct paths.
+func (s *Set) Len() int { return len(s.paths) }
+
+// Contains reports whether the exact node sequence is in the set.
+func (s *Set) Contains(p routing.Path) bool { return s.keys[p.Key()] }
+
+// LongestHops returns the maximum hop count over the set (0 for empty).
+func (s *Set) LongestHops() int {
+	m := 0
+	for _, p := range s.paths {
+		if h := p.Hops(); h > m {
+			m = h
+		}
+	}
+	return m
+}
+
+// UpDownAll adds, for every ordered pair of the given endpoints, every
+// shortest valley-free path. Endpoints are typically the ToR switches of a
+// Clos. Unreachable pairs are skipped.
+func UpDownAll(g *topology.Graph, endpoints []topology.NodeID) *Set {
+	s := NewSet()
+	for _, a := range endpoints {
+		for _, b := range endpoints {
+			if a == b {
+				continue
+			}
+			for _, p := range routing.UpDownPaths(g, a, b, 0) {
+				s.MustAdd(g, p)
+			}
+		}
+	}
+	return s
+}
+
+// KBounce adds, for every ordered endpoint pair, every loop-free path that
+// is a concatenation of at most k+1 shortest valley-free segments joined
+// at bounce switches — i.e. all paths with at most k bounces (§4.3). The
+// junction switches may be any switch in via (defaults to all switches
+// when via is nil). Paths that revisit a node are discarded, matching the
+// paper's loop-free requirement on ELP routes.
+//
+// The shortest (0-bounce) paths are included, so the result is the
+// "shortest plus up-to-k-bounce" ELP the paper uses for Clos.
+func KBounce(g *topology.Graph, endpoints []topology.NodeID, k int, via []topology.NodeID) *Set {
+	if via == nil {
+		via = g.Switches()
+	}
+	s := NewSet()
+	// Cache of shortest valley-free segments between switch pairs, with
+	// and without the first-hop-must-ascend constraint.
+	type segKey struct {
+		a, b    topology.NodeID
+		firstUp bool
+	}
+	segCache := map[segKey][]routing.Path{}
+	segsBetween := func(a, b topology.NodeID, firstUp bool) []routing.Path {
+		if a == b {
+			return nil
+		}
+		key := segKey{a, b, firstUp}
+		if ps, ok := segCache[key]; ok {
+			return ps
+		}
+		var ps []routing.Path
+		if firstUp {
+			ps = routing.UpDownPathsFirstUp(g, a, b, 0)
+		} else {
+			ps = routing.UpDownPaths(g, a, b, 0)
+		}
+		segCache[key] = ps
+		return ps
+	}
+
+	endsDescending := func(seg routing.Path) bool {
+		return len(seg) >= 2 && g.Node(seg[len(seg)-1]).Layer < g.Node(seg[len(seg)-2]).Layer
+	}
+
+	// extend grows prefix toward dst. mustAscend is set right after a
+	// bounce junction: the packet arrived descending, so the next segment
+	// must leave ascending or the junction was not a bounce at all.
+	var extend func(prefix routing.Path, bouncesLeft int, dst topology.NodeID, mustAscend bool)
+	extend = func(prefix routing.Path, bouncesLeft int, dst topology.NodeID, mustAscend bool) {
+		cur := prefix.Dst()
+		// Finish directly.
+		for _, seg := range segsBetween(cur, dst, mustAscend) {
+			if full, ok := routing.Concat(prefix, seg); ok && full.LoopFree() {
+				s.MustAdd(g, full)
+			}
+		}
+		if bouncesLeft == 0 {
+			return
+		}
+		// Bounce at an intermediate switch x, then continue ascending.
+		for _, x := range via {
+			if x == cur || x == dst {
+				continue
+			}
+			for _, seg := range segsBetween(cur, x, mustAscend) {
+				// A genuine bounce requires arriving at x descending.
+				if !endsDescending(seg) {
+					continue
+				}
+				if full, ok := routing.Concat(prefix, seg); ok && full.LoopFree() {
+					extend(full, bouncesLeft-1, dst, true)
+				}
+			}
+		}
+	}
+
+	for _, a := range endpoints {
+		for _, b := range endpoints {
+			if a == b {
+				continue
+			}
+			extend(routing.Path{a}, k, b, false)
+		}
+	}
+	return s
+}
+
+// ShortestAll adds one shortest path for every ordered pair of the given
+// endpoints (deterministic tie-break). This is the ELP used for Jellyfish
+// and BCube scalability (Table 5): "LP is shortest paths".
+func ShortestAll(g *topology.Graph, endpoints []topology.NodeID) *Set {
+	s := NewSet()
+	for _, a := range endpoints {
+		// One BFS per source covers all destinations.
+		paths := shortestTreePaths(g, a, endpoints)
+		for _, p := range paths {
+			s.MustAdd(g, p)
+		}
+	}
+	return s
+}
+
+// ShortestAllECMP adds every shortest path for each ordered pair, capped
+// at limit paths per pair (limit <= 0: unlimited). Exponentially many
+// paths can exist; use only on small graphs or with a cap.
+func ShortestAllECMP(g *topology.Graph, endpoints []topology.NodeID, limit int) *Set {
+	s := NewSet()
+	for _, a := range endpoints {
+		for _, b := range endpoints {
+			if a == b {
+				continue
+			}
+			for _, p := range routing.AllShortestPaths(g, a, b, limit) {
+				s.MustAdd(g, p)
+			}
+		}
+	}
+	return s
+}
+
+// shortestTreePaths extracts one shortest path from src to each other
+// endpoint using a single BFS with deterministic parent choice.
+func shortestTreePaths(g *topology.Graph, src topology.NodeID, endpoints []topology.NodeID) []routing.Path {
+	n := g.NumNodes()
+	dist := make([]int, n)
+	parent := make([]topology.NodeID, n)
+	for i := range dist {
+		dist[i] = -1
+		parent[i] = topology.InvalidNode
+	}
+	dist[src] = 0
+	queue := []topology.NodeID{src}
+	var nbuf []topology.NodeID
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if u != src && g.Node(u).Kind == topology.KindHost {
+			continue
+		}
+		nbuf = g.Neighbors(u, nbuf[:0])
+		// Deterministic: ascending neighbor IDs.
+		sort.Slice(nbuf, func(a, b int) bool { return nbuf[a] < nbuf[b] })
+		for _, v := range nbuf {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				parent[v] = u
+				queue = append(queue, v)
+			}
+		}
+	}
+	var out []routing.Path
+	for _, b := range endpoints {
+		if b == src || dist[b] < 0 {
+			continue
+		}
+		rev := routing.Path{b}
+		for cur := b; cur != src; cur = parent[cur] {
+			rev = append(rev, parent[cur])
+		}
+		p := make(routing.Path, len(rev))
+		for i, nid := range rev {
+			p[len(rev)-1-i] = nid
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// HostLevel expands a switch-level path set to host level: every path
+// from switch a to switch b becomes one path per (host under a, host
+// under b) pair, with the hosts prepended/appended. Host-level ELPs model
+// deployments where the NIC stamps the tag and the ToR's host-facing
+// ingress is part of the tagged graph. The expansion multiplies the set
+// by hostsPerEndpoint^2; limit bounds hosts used per endpoint (0 = all).
+func HostLevel(g *topology.Graph, s *Set, limit int) *Set {
+	hostsUnder := func(sw topology.NodeID) []topology.NodeID {
+		var out []topology.NodeID
+		var nbuf []topology.NodeID
+		nbuf = g.Neighbors(sw, nbuf)
+		for _, nb := range nbuf {
+			if g.Node(nb).Kind == topology.KindHost {
+				out = append(out, nb)
+				if limit > 0 && len(out) == limit {
+					break
+				}
+			}
+		}
+		return out
+	}
+	out := NewSet()
+	for _, p := range s.Paths() {
+		srcs := hostsUnder(p.Src())
+		dsts := hostsUnder(p.Dst())
+		for _, sh := range srcs {
+			for _, dh := range dsts {
+				hp := make(routing.Path, 0, len(p)+2)
+				hp = append(hp, sh)
+				hp = append(hp, p...)
+				hp = append(hp, dh)
+				out.MustAdd(g, hp)
+			}
+		}
+	}
+	return out
+}
+
+// RandomPaths adds count random loop-free walks between random endpoint
+// pairs (Table 5's "+10,000 random paths" row). Each walk is a random
+// simple path of at most maxHops hops found by randomized DFS; pairs with
+// no such path are retried with new endpoints. Generation is
+// deterministic per seed.
+func RandomPaths(g *topology.Graph, endpoints []topology.NodeID, count, maxHops int, seed int64) *Set {
+	s := NewSet()
+	AddRandomPaths(s, g, endpoints, count, maxHops, seed)
+	return s
+}
+
+// AddRandomPaths inserts count random loop-free paths into an existing set.
+func AddRandomPaths(s *Set, g *topology.Graph, endpoints []topology.NodeID, count, maxHops int, seed int64) {
+	if len(endpoints) < 2 {
+		return
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var nbuf []topology.NodeID
+	attempts := 0
+	for added := 0; added < count && attempts < count*50; attempts++ {
+		a := endpoints[rng.Intn(len(endpoints))]
+		b := endpoints[rng.Intn(len(endpoints))]
+		if a == b {
+			continue
+		}
+		p := randomSimplePath(g, a, b, maxHops, rng, &nbuf)
+		if p == nil {
+			continue
+		}
+		if !s.Contains(p) {
+			s.MustAdd(g, p)
+			added++
+		}
+	}
+}
+
+func randomSimplePath(g *topology.Graph, a, b topology.NodeID, maxHops int, rng *rand.Rand, nbuf *[]topology.NodeID) routing.Path {
+	if maxHops <= 0 {
+		maxHops = 8
+	}
+	onPath := map[topology.NodeID]bool{a: true}
+	var dfs func(cur topology.NodeID, hops int, acc routing.Path) routing.Path
+	dfs = func(cur topology.NodeID, hops int, acc routing.Path) routing.Path {
+		if cur == b {
+			out := make(routing.Path, len(acc))
+			copy(out, acc)
+			return out
+		}
+		if hops == maxHops {
+			return nil
+		}
+		if cur != a && g.Node(cur).Kind == topology.KindHost {
+			return nil
+		}
+		*nbuf = g.Neighbors(cur, (*nbuf)[:0])
+		nbs := append([]topology.NodeID(nil), *nbuf...)
+		rng.Shuffle(len(nbs), func(i, j int) { nbs[i], nbs[j] = nbs[j], nbs[i] })
+		for _, v := range nbs {
+			if onPath[v] {
+				continue
+			}
+			if v != b && g.Node(v).Kind == topology.KindHost {
+				continue
+			}
+			onPath[v] = true
+			if p := dfs(v, hops+1, append(acc, v)); p != nil {
+				return p
+			}
+			delete(onPath, v)
+		}
+		return nil
+	}
+	return dfs(a, 0, routing.Path{a})
+}

@@ -1,0 +1,34 @@
+package elp
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestHostLevelExpansion(t *testing.T) {
+	c, err := topology.NewClos(topology.PaperTestbed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := c.Graph
+	sw := UpDownAll(g, c.ToRs)
+	hl := HostLevel(g, sw, 0)
+	// 4 hosts per ToR: every switch path expands by 16.
+	if hl.Len() != sw.Len()*16 {
+		t.Fatalf("host-level = %d, want %d", hl.Len(), sw.Len()*16)
+	}
+	for _, p := range hl.Paths() {
+		if g.Node(p.Src()).Kind != topology.KindHost || g.Node(p.Dst()).Kind != topology.KindHost {
+			t.Fatalf("endpoints not hosts: %s", p.String(g))
+		}
+		if !p.LoopFree() || !p.Valid(g) {
+			t.Fatalf("bad path %s", p.String(g))
+		}
+	}
+	// Cap limits the blow-up.
+	capped := HostLevel(g, sw, 1)
+	if capped.Len() != sw.Len() {
+		t.Errorf("capped = %d, want %d", capped.Len(), sw.Len())
+	}
+}

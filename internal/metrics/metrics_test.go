@@ -1,0 +1,77 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Date", "Total No.", "Prob")
+	tb.AddRow("1/1/2017", 1234567, 3.0e-5)
+	tb.AddRow("1/2/2017", 89, 0.25)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Date") {
+		t.Errorf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("separator: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "1234567") || !strings.Contains(lines[2], "3e-05") {
+		t.Errorf("row: %q", lines[2])
+	}
+	// All rows align to the same width.
+	if len(lines[0]) != len(lines[1]) {
+		t.Errorf("misaligned header/separator: %d vs %d", len(lines[0]), len(lines[1]))
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil, 0) != "" {
+		t.Error("empty series")
+	}
+	s := Sparkline([]float64{0, 1, 2, 3, 4}, 4)
+	if len([]rune(s)) != 5 {
+		t.Fatalf("length: %q", s)
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[4] != '█' {
+		t.Errorf("endpoints: %q", s)
+	}
+	// Auto-max.
+	s2 := Sparkline([]float64{2, 4}, 0)
+	if []rune(s2)[1] != '█' {
+		t.Errorf("auto-max: %q", s2)
+	}
+	// All zero does not divide by zero.
+	if Sparkline([]float64{0, 0}, 0) == "" {
+		t.Error("zero series should render")
+	}
+	// Out-of-range values clamp.
+	s3 := Sparkline([]float64{10}, 4)
+	if []rune(s3)[0] != '█' {
+		t.Errorf("clamp: %q", s3)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	m, s := MeanStd(nil)
+	if m != 0 || s != 0 {
+		t.Error("empty stats")
+	}
+	m, s = MeanStd([]float64{2, 2, 2})
+	if m != 2 || s != 0 {
+		t.Errorf("constant series: %v %v", m, s)
+	}
+	m, s = MeanStd([]float64{1, 3})
+	if m != 2 || math.Abs(s-1) > 1e-12 {
+		t.Errorf("mean=%v std=%v, want 2,1", m, s)
+	}
+}

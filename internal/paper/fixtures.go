@@ -1,0 +1,87 @@
+// Package paper holds the concrete fixtures of the Tagger paper's figures
+// and tables — the walk-through topology of Figure 5, the testbed Clos of
+// Figure 2, and the named flows and failures of Figures 3, 10, 11 and 12 —
+// so that tests, benchmarks and example programs all reproduce exactly the
+// published scenarios.
+package paper
+
+import (
+	"repro/internal/elp"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// Fig5 is the walk-through example of Figure 5: three switches A, B, C in
+// a triangle with one endpoint each (D on A, E on B, F on C), and the
+// 12-path ELP listed in Figure 5(a).
+type Fig5 struct {
+	Graph            *topology.Graph
+	A, B, C, D, E, F topology.NodeID
+	ELP              *elp.Set
+}
+
+// NewFig5 builds the Figure 5 fixture.
+func NewFig5() *Fig5 {
+	g := topology.New()
+	f := &Fig5{Graph: g}
+	// Unlayered switches: the walk-through treats the triangle as an
+	// arbitrary topology, exercising the generic algorithms.
+	f.A = g.AddNode("A", topology.KindSwitch, -1)
+	f.B = g.AddNode("B", topology.KindSwitch, -1)
+	f.C = g.AddNode("C", topology.KindSwitch, -1)
+	f.D = g.AddNode("D", topology.KindHost, 0)
+	f.E = g.AddNode("E", topology.KindHost, 0)
+	f.F = g.AddNode("F", topology.KindHost, 0)
+	g.Connect(f.A, f.B)
+	g.Connect(f.A, f.C)
+	g.Connect(f.B, f.C)
+	g.Connect(f.D, f.A)
+	g.Connect(f.E, f.B)
+	g.Connect(f.F, f.C)
+
+	f.ELP = elp.NewSet()
+	for _, p := range [][]topology.NodeID{
+		{f.D, f.A, f.B, f.E}, {f.D, f.A, f.C, f.B, f.E},
+		{f.E, f.B, f.A, f.D}, {f.E, f.B, f.C, f.A, f.D},
+		{f.D, f.A, f.C, f.F}, {f.D, f.A, f.B, f.C, f.F},
+		{f.F, f.C, f.A, f.D}, {f.F, f.C, f.B, f.A, f.D},
+		{f.E, f.B, f.C, f.F}, {f.E, f.B, f.A, f.C, f.F},
+		{f.F, f.C, f.B, f.E}, {f.F, f.C, f.A, f.B, f.E},
+	} {
+		f.ELP.MustAdd(g, routing.Path(p))
+	}
+	return f
+}
+
+// Testbed builds the Figure 2 testbed Clos (2 spines, 2 pods of 2 leaves
+// and 2 ToRs, 4 hosts per ToR).
+func Testbed() *topology.Clos {
+	c, err := topology.NewClos(topology.PaperTestbed())
+	if err != nil {
+		panic(err) // fixed config, cannot fail
+	}
+	return c
+}
+
+// Fig3GreenPath returns the green flow's 1-bounce path of Figure 3
+// (T3 to T1, bouncing at L1 after the L1-T1 failure). The spine choices
+// matter: the CBD closes because green shares S2's ingress-from-L3 queue
+// with the blue flow and feeds S1's ingress-from-L1 queue that blue also
+// occupies, yielding the cycle L1 -> S1 -> L3 -> S2 -> L1 of the figure.
+func Fig3GreenPath(c *topology.Clos) routing.Path {
+	g := c.Graph
+	return routing.Path{
+		g.MustLookup("T3"), g.MustLookup("L3"), g.MustLookup("S2"),
+		g.MustLookup("L1"), g.MustLookup("S1"), g.MustLookup("L2"), g.MustLookup("T1"),
+	}
+}
+
+// Fig3BluePath returns the blue flow's 1-bounce path of Figure 3
+// (T1 to T4, bouncing at L3 after the L3-T4 failure).
+func Fig3BluePath(c *topology.Clos) routing.Path {
+	g := c.Graph
+	return routing.Path{
+		g.MustLookup("T1"), g.MustLookup("L1"), g.MustLookup("S1"),
+		g.MustLookup("L3"), g.MustLookup("S2"), g.MustLookup("L4"), g.MustLookup("T4"),
+	}
+}

@@ -1,0 +1,103 @@
+// Package pfc models IEEE 802.1Qbb Priority Flow Control: the per-
+// priority PAUSE/RESUME state machine parameters, frame encoding, and the
+// headroom arithmetic that makes a priority genuinely lossless.
+package pfc
+
+import (
+	"fmt"
+	"time"
+)
+
+// MaxPriorities is the number of PFC classes the standard defines.
+const MaxPriorities = 8
+
+// QuantumBits is the unit of the PFC pause_time field: one quantum is the
+// time to transmit 512 bits at the port's speed.
+const QuantumBits = 512
+
+// Config holds the per-queue PFC thresholds of one switch, in bytes of
+// ingress occupancy. A priority's ingress counter crossing XoffThreshold
+// emits PAUSE upstream; falling to XonThreshold emits RESUME. Headroom is
+// the buffer reserved above Xoff to absorb in-flight data while the PAUSE
+// takes effect — sized by ComputeHeadroom, it is what guarantees zero
+// loss.
+type Config struct {
+	XoffThreshold int64
+	XonThreshold  int64
+	Headroom      int64
+}
+
+// Validate reports the first inconsistency, or nil.
+func (c Config) Validate() error {
+	switch {
+	case c.XoffThreshold <= 0:
+		return fmt.Errorf("pfc: XoffThreshold must be positive, got %d", c.XoffThreshold)
+	case c.XonThreshold < 0 || c.XonThreshold > c.XoffThreshold:
+		return fmt.Errorf("pfc: XonThreshold %d out of [0, %d]", c.XonThreshold, c.XoffThreshold)
+	case c.Headroom < 0:
+		return fmt.Errorf("pfc: negative headroom %d", c.Headroom)
+	}
+	return nil
+}
+
+// Frame is a PFC PAUSE/RESUME control frame for one priority. Pause=false
+// encodes a resume (pause_time 0).
+type Frame struct {
+	Priority int
+	Pause    bool
+}
+
+// ComputeHeadroom returns the ingress headroom (bytes) a lossless
+// priority needs on a link of the given rate and one-way propagation
+// delay, following the standard worst-case accounting (§2 of the paper:
+// "sufficient headroom to buffer packets that are in flight during the
+// time it takes for the PAUSE to take effect"):
+//
+//   - a maximum-size frame may have just started transmission upstream
+//     when the threshold was crossed (one MTU),
+//   - the PAUSE frame itself waits behind a frame in the worst case and
+//     crosses the wire (one MTU + propagation),
+//   - data already in flight keeps arriving for one round trip
+//     (2 x delay x rate),
+//   - the pause quantum granularity adds one more frame.
+func ComputeHeadroom(linkBitsPerSec int64, oneWayDelay time.Duration, mtuBytes int64) int64 {
+	bytesPerSec := linkBitsPerSec / 8
+	inFlight := int64(float64(bytesPerSec) * (2 * oneWayDelay.Seconds()))
+	return inFlight + 3*mtuBytes
+}
+
+// DefaultConfig returns thresholds proportioned for the given per-port
+// buffer budget: Xoff at half the budget, Xon at a quarter, and headroom
+// from the link parameters. It is the configuration style used on the
+// paper's testbed switches.
+func DefaultConfig(perPortBuffer int64, linkBitsPerSec int64, oneWayDelay time.Duration, mtuBytes int64) Config {
+	return Config{
+		XoffThreshold: perPortBuffer / 2,
+		XonThreshold:  perPortBuffer / 4,
+		Headroom:      ComputeHeadroom(linkBitsPerSec, oneWayDelay, mtuBytes),
+	}
+}
+
+// QuantaForDuration converts a pause duration to PFC quanta at the given
+// link speed, rounding up; the standard caps the field at 0xFFFF.
+func QuantaForDuration(d time.Duration, linkBitsPerSec int64) uint16 {
+	if d <= 0 {
+		return 0
+	}
+	quantumSec := float64(QuantumBits) / float64(linkBitsPerSec)
+	q := d.Seconds() / quantumSec
+	if q >= 0xFFFF {
+		return 0xFFFF
+	}
+	n := uint16(q)
+	if float64(n) < q {
+		n++
+	}
+	return n
+}
+
+// DurationForQuanta converts a quanta count to wall time at a link speed.
+func DurationForQuanta(q uint16, linkBitsPerSec int64) time.Duration {
+	sec := float64(q) * float64(QuantumBits) / float64(linkBitsPerSec)
+	return time.Duration(sec * float64(time.Second))
+}

@@ -1,0 +1,87 @@
+package pfc
+
+import (
+	"testing"
+	"time"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{XoffThreshold: 100, XonThreshold: 50, Headroom: 200}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{XoffThreshold: 0, XonThreshold: 0},
+		{XoffThreshold: 100, XonThreshold: 200},
+		{XoffThreshold: 100, XonThreshold: -1},
+		{XoffThreshold: 100, XonThreshold: 50, Headroom: -5},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: expected error for %+v", i, c)
+		}
+	}
+}
+
+func TestComputeHeadroom(t *testing.T) {
+	// 40 Gbps, 1.5 us one-way, 1KB MTU: in-flight = 5e9 B/s * 3e-6 s = 15000 B.
+	got := ComputeHeadroom(40_000_000_000, 1500*time.Nanosecond, 1024)
+	want := int64(15000 + 3*1024)
+	if got != want {
+		t.Errorf("headroom = %d, want %d", got, want)
+	}
+	// Headroom grows with delay and rate.
+	if ComputeHeadroom(40_000_000_000, 3*time.Microsecond, 1024) <= got {
+		t.Error("headroom should grow with delay")
+	}
+	if ComputeHeadroom(100_000_000_000, 1500*time.Nanosecond, 1024) <= got {
+		t.Error("headroom should grow with rate")
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	c := DefaultConfig(1<<20, 40_000_000_000, time.Microsecond, 1024)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.XoffThreshold != 1<<19 || c.XonThreshold != 1<<18 {
+		t.Errorf("thresholds = %d/%d", c.XoffThreshold, c.XonThreshold)
+	}
+	if c.Headroom <= 0 {
+		t.Error("headroom missing")
+	}
+}
+
+func TestQuantaRoundTrip(t *testing.T) {
+	const rate = 40_000_000_000
+	if QuantaForDuration(0, rate) != 0 {
+		t.Error("zero duration should be zero quanta")
+	}
+	// One quantum at 40G is 512/40e9 s = 12.8 ns.
+	q := QuantaForDuration(128*time.Nanosecond, rate)
+	if q != 10 {
+		t.Errorf("quanta = %d, want 10", q)
+	}
+	d := DurationForQuanta(q, rate)
+	if d < 127*time.Nanosecond || d > 129*time.Nanosecond {
+		t.Errorf("duration = %v", d)
+	}
+	// Saturation at 0xFFFF.
+	if QuantaForDuration(time.Second, rate) != 0xFFFF {
+		t.Error("expected saturation")
+	}
+	// Rounding up: 1 ns is less than one quantum but must pause at least 1.
+	if QuantaForDuration(time.Nanosecond, rate) != 1 {
+		t.Error("expected round-up to 1")
+	}
+}
+
+func TestFrame(t *testing.T) {
+	f := Frame{Priority: 3, Pause: true}
+	if f.Priority != 3 || !f.Pause {
+		t.Error("frame fields")
+	}
+	if MaxPriorities != 8 || QuantumBits != 512 {
+		t.Error("standard constants drifted")
+	}
+}

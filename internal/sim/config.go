@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"time"
+
+	"repro/internal/pfc"
+)
+
+// Config holds the fabric-wide physical and PFC parameters. The defaults
+// mirror the paper's testbed: 40 GbE links, shallow shared buffers, and
+// PFC thresholds small enough that sustained congestion pauses upstream
+// within tens of microseconds.
+type Config struct {
+	// LinkBitsPerSec is the rate of every link (hosts included).
+	LinkBitsPerSec int64
+	// PropDelay is the one-way propagation delay of every link; PFC
+	// frames experience the same delay.
+	PropDelay time.Duration
+	// MTU is the fixed packet size in bytes (RoCE traffic is MTU-sized
+	// under sustained transfer).
+	MTU int
+	// PFC thresholds per lossless ingress queue.
+	PFC pfc.Config
+	// LossyCap bounds each lossy egress queue in bytes; beyond it lossy
+	// packets drop (that is the point of the lossy class).
+	LossyCap int64
+	// MaxPriority is the highest lossless priority (tag) in use. Queues
+	// are sized MaxPriority+1, with index 0 the lossy queue. The PFC
+	// standard allows at most 8.
+	MaxPriority int
+	// DefaultTTL stamps packets at the source; 64 matches the paper's
+	// measurement methodology (§3.2).
+	DefaultTTL int
+	// SampleInterval is the throughput-series bucket width.
+	SampleInterval time.Duration
+
+	// DynamicThreshold enables Broadcom-style dynamic Xoff: the effective
+	// pause threshold is min(PFC.XoffThreshold, DTAlpha x free shared
+	// buffer). As a switch's buffer fills, thresholds collapse, pauses
+	// lengthen, and pause cascades become self-reinforcing — the
+	// mechanism by which CBDs actually lock up in production (§3.3: "all
+	// queues share a single memory pool").
+	DynamicThreshold bool
+	// DTAlpha is the dynamic-threshold proportionality factor.
+	DTAlpha float64
+	// SwitchBuffer is the shared packet buffer per switch in bytes.
+	SwitchBuffer int64
+	// XonGap is the hysteresis below the effective threshold at which
+	// RESUME is sent.
+	XonGap int64
+
+	// StrictPriority selects strict-priority egress scheduling (highest
+	// lossless queue first, lossy last) instead of the default round-robin
+	// — both are real ASIC modes. Under strict priority, sustained
+	// high-priority load starves the lossy class entirely.
+	StrictPriority bool
+}
+
+// DefaultConfig returns the testbed-like parameters used by the
+// experiment drivers.
+func DefaultConfig() Config {
+	return Config{
+		LinkBitsPerSec: 40_000_000_000,
+		PropDelay:      1 * time.Microsecond,
+		MTU:            1024,
+		PFC: pfc.Config{
+			XoffThreshold: 64 << 10, // 64 KiB
+			XonThreshold:  0,        // resume-on-empty: emulates the collapsed
+			// dynamic-threshold regime of shared-buffer ASICs under load,
+			// where deadlocks actually form (see DESIGN.md)
+			Headroom: pfc.ComputeHeadroom(40_000_000_000, time.Microsecond, 1024),
+		},
+		LossyCap:       256 << 10,
+		MaxPriority:    3,
+		DefaultTTL:     64,
+		SampleInterval: time.Millisecond,
+
+		DynamicThreshold: false,
+		DTAlpha:          0.25,
+		SwitchBuffer:     512 << 10,
+		XonGap:           16 << 10,
+	}
+}
+
+// txTimeNs returns the serialization delay of size bytes.
+func (c *Config) txTimeNs(size int) int64 {
+	return int64(size) * 8 * 1_000_000_000 / c.LinkBitsPerSec
+}

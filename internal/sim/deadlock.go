@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// pausedQueue identifies one currently-paused lossless egress queue.
+type pausedQueue struct {
+	node int
+	port int
+	prio int
+}
+
+// DetectDeadlock inspects the live PFC state and returns a cycle of
+// mutually-waiting egress queues if one exists: egress queue X at switch
+// A (paused by downstream B) waits on every paused egress queue at B that
+// holds packets charged to the ingress queue whose occupancy keeps the
+// pause asserted. A cycle in this wait-for graph is a live deadlock — no
+// queue in it can ever drain (the paper's §2: once formed, a deadlock
+// does not go away).
+//
+// The returned strings describe the cycle members for diagnostics; nil
+// means no deadlock at this instant. (The raw scan lives in
+// detectCycleQueues, shared with the detect-and-break recovery monitor.)
+func (n *Network) DetectDeadlock() []string {
+	cyc := n.detectCycleQueues()
+	if cyc == nil {
+		return nil
+	}
+	out := make([]string, 0, len(cyc))
+	for _, q := range cyc {
+		rt := &n.nodes[q.node]
+		out = append(out, fmt.Sprintf("%s->%s prio %d",
+			n.g.Node(rt.id).Name, n.g.Node(rt.ports[q.port].peer).Name, q.prio))
+	}
+	sort.Strings(out[1:]) // stable-ish presentation beyond the entry point
+	return out
+}
+
+// Deadlocked reports whether a pause-wait cycle currently exists.
+func (n *Network) Deadlocked() bool { return n.DetectDeadlock() != nil }
+
+// DeadlockString renders a detected cycle for logs.
+func DeadlockString(cycle []string) string { return strings.Join(cycle, " | ") }
+
+// findIntCycle returns one cycle in a dense adjacency list, or nil.
+func findIntCycle(adj [][]int) []int {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, len(adj))
+	parent := make([]int, len(adj))
+	for i := range parent {
+		parent[i] = -1
+	}
+	type frame struct{ node, next int }
+	for s := range adj {
+		if color[s] != white {
+			continue
+		}
+		stack := []frame{{node: s}}
+		color[s] = gray
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < len(adj[f.node]) {
+				v := adj[f.node][f.next]
+				f.next++
+				switch color[v] {
+				case white:
+					color[v] = gray
+					parent[v] = f.node
+					stack = append(stack, frame{node: v})
+				case gray:
+					cyc := []int{v}
+					for cur := f.node; cur != v; cur = parent[cur] {
+						cyc = append(cyc, cur)
+					}
+					for i, j := 0, len(cyc)-1; i < j; i, j = i+1, j-1 {
+						cyc[i], cyc[j] = cyc[j], cyc[i]
+					}
+					return cyc
+				}
+			} else {
+				color[f.node] = black
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+// Package sim is a discrete-event, packet-level simulator of a PFC
+// (IEEE 802.1Qbb) lossless Ethernet fabric with Tagger's match-action
+// pipeline on every switch.
+//
+// It models what the paper's testbed and NS-3 simulations measure: shared
+// ingress-counting switch buffers with per-(port, priority) PFC
+// PAUSE/RESUME, per-priority egress queues selected by the REWRITTEN tag
+// (§7's priority transition), TTL, lossy-queue overflow drops, host NICs
+// that honor PAUSE, and a deadlock detector over the live pause-wait
+// graph. Time is integer nanoseconds and execution is fully deterministic
+// for a given scenario.
+package sim
+
+import "container/heap"
+
+// eventKind discriminates the simulator's event types.
+type eventKind uint8
+
+const (
+	evArrive   eventKind = iota // packet arrives at node ingress
+	evTxDone                    // node port finishes serializing a packet
+	evPFC                       // PFC pause/resume frame takes effect
+	evFlowKick                  // re-evaluate a host's flow scheduler
+	evCall                      // scenario callback
+)
+
+// event is one scheduled occurrence. Fields are a union across kinds; a
+// single flat struct keeps the heap allocation-free.
+type event struct {
+	at   int64 // nanoseconds
+	seq  int64 // FIFO tie-break for determinism
+	kind eventKind
+
+	node int // target node index
+	port int // target port number
+	prio int // PFC priority (evPFC)
+	on   bool
+
+	pkt *packet
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+// Push implements heap.Interface.
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
+
+// Pop implements heap.Interface.
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+func (n *Network) schedule(e event) {
+	e.seq = n.seq
+	n.seq++
+	heap.Push(&n.events, e)
+}

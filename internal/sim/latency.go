@@ -1,0 +1,76 @@
+package sim
+
+import "time"
+
+// latencyHist is a log-scale histogram of packet sojourn times. Buckets
+// are powers of two in microseconds: bucket i covers [2^i, 2^(i+1)) us,
+// with bucket 0 covering everything below 1 us. 32 buckets reach ~1.2
+// hours, far beyond any sane fabric latency.
+type latencyHist struct {
+	buckets [32]int64
+	count   int64
+	sum     int64 // nanoseconds
+	max     int64
+}
+
+func (h *latencyHist) observe(ns int64) {
+	h.count++
+	h.sum += ns
+	if ns > h.max {
+		h.max = ns
+	}
+	us := ns / 1000
+	b := 0
+	for us > 0 && b < len(h.buckets)-1 {
+		us >>= 1
+		b++
+	}
+	h.buckets[b]++
+}
+
+// quantile returns an upper bound of the q-quantile (bucket ceiling).
+func (h *latencyHist) quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	target := int64(q * float64(h.count))
+	if target >= h.count {
+		target = h.count - 1
+	}
+	var seen int64
+	for i, c := range h.buckets {
+		seen += c
+		if seen > target {
+			// Ceiling of bucket i: 2^i us.
+			return time.Duration(int64(1)<<uint(i)) * time.Microsecond
+		}
+	}
+	return time.Duration(h.max)
+}
+
+// LatencyStats summarizes a flow's delivered packet latencies.
+type LatencyStats struct {
+	Count int64
+	Mean  time.Duration
+	P50   time.Duration // bucket upper bounds (log2-us resolution)
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// Latency returns the flow's delivery latency statistics. The paper's §8
+// claim covers latency as well as throughput ("no discernible impact on
+// throughput and latency"); BenchmarkTaggerOverhead reports both.
+func (f *Flow) Latency() LatencyStats {
+	h := &f.lat
+	var mean time.Duration
+	if h.count > 0 {
+		mean = time.Duration(h.sum / h.count)
+	}
+	return LatencyStats{
+		Count: h.count,
+		Mean:  mean,
+		P50:   h.quantile(0.50),
+		P99:   h.quantile(0.99),
+		Max:   time.Duration(h.max),
+	}
+}

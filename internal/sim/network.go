@@ -1,0 +1,546 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// packet is one MTU-sized frame in flight or queued.
+type packet struct {
+	flow *Flow
+	size int32
+	tag  int16 // current tag; core.LossyTag when demoted
+	ttl  int16
+	hop  int16 // arrival index along a pinned path (0 = at the source)
+	ecn  bool  // congestion-experienced mark (DCQCN)
+
+	born int64 // injection time, for delivery-latency accounting
+
+	// Ingress bookkeeping at the switch currently holding the packet:
+	// which (port, priority) counter it is charged against.
+	inPort int16
+	inPrio int16
+}
+
+// fifo is an allocation-friendly packet queue.
+type fifo struct {
+	q     []packet
+	head  int
+	bytes int64
+}
+
+func (f *fifo) push(p packet) {
+	f.q = append(f.q, p)
+	f.bytes += int64(p.size)
+}
+
+func (f *fifo) pop() packet {
+	p := f.q[f.head]
+	f.head++
+	f.bytes -= int64(p.size)
+	if f.head > 64 && f.head*2 > len(f.q) {
+		n := copy(f.q, f.q[f.head:])
+		f.q = f.q[:n]
+		f.head = 0
+	}
+	return p
+}
+
+func (f *fifo) empty() bool { return f.head >= len(f.q) }
+
+func (f *fifo) len() int { return len(f.q) - f.head }
+
+// portRT is the runtime state of one node port.
+type portRT struct {
+	peer     topology.NodeID
+	peerPort int16
+
+	// Egress: one FIFO per priority (0 = lossy), paused bitmask from
+	// downstream PFC, transmitter state, and a round-robin pointer.
+	egress       []fifo
+	egressPaused []bool
+	txBusy       bool
+	txPkt        packet // the frame being serialized, for ingress release
+	rrNext       int
+
+	// Ingress accounting per priority, and whether we have PAUSEd the
+	// upstream for each priority.
+	inBytes        []int64
+	pausedUpstream []bool
+	maxInBytes     int64 // high-water mark, for headroom verification
+}
+
+// nodeRT is the runtime state of one node.
+type nodeRT struct {
+	id     topology.NodeID
+	isHost bool
+	ports  []portRT
+	// bufferUsed is the switch's shared-buffer occupancy (both classes),
+	// driving the dynamic threshold.
+	bufferUsed int64
+	// Host state: flows sourced here and a round-robin pointer.
+	flows  []*Flow
+	nextFl int
+}
+
+// DropStats counts packet losses by cause.
+type DropStats struct {
+	TTLExpired    int64
+	NoRoute       int64
+	LossyOverflow int64
+	// HeadroomViolation counts lossless packets that arrived above
+	// Xoff+headroom — zero whenever thresholds are configured correctly;
+	// the simulator drops them like a real switch would.
+	HeadroomViolation int64
+}
+
+// Total returns all drops.
+func (d DropStats) Total() int64 {
+	return d.TTLExpired + d.NoRoute + d.LossyOverflow + d.HeadroomViolation
+}
+
+// Network is one simulation instance.
+type Network struct {
+	g      *topology.Graph
+	tables *routing.Tables
+	cfg    Config
+
+	rules        *core.Ruleset // nil: Tagger disabled (single class)
+	legacyEgress bool          // Figure 8a mode: egress queue by OLD tag
+
+	now    int64
+	seq    int64
+	events eventHeap
+
+	nodes []nodeRT
+	flows []*Flow
+
+	drops        DropStats
+	PauseFrames  int64
+	ResumeFrames int64
+
+	// debugPFC, when set, observes every PAUSE/RESUME emission (tests).
+	debugPFC func(from topology.NodeID, port, prio int, on bool)
+
+	// dcqcn, when non-nil, enables congestion control (see dcqcn.go).
+	dcqcn *dcqcnState
+
+	// tracer, when non-nil, observes pauses, drops, demotions and
+	// deadlock onsets (see trace.go).
+	tracer     Tracer
+	inDeadlock bool
+}
+
+// New builds a simulator over the topology and forwarding tables. The
+// tables object is referenced, not copied: scenario code may override
+// entries mid-run via At callbacks.
+func New(g *topology.Graph, tables *routing.Tables, cfg Config) *Network {
+	n := &Network{g: g, tables: tables, cfg: cfg}
+	nPrio := cfg.MaxPriority + 1
+	n.nodes = make([]nodeRT, g.NumNodes())
+	for i := range n.nodes {
+		node := g.Node(topology.NodeID(i))
+		rt := &n.nodes[i]
+		rt.id = node.ID
+		rt.isHost = node.Kind == topology.KindHost
+		rt.ports = make([]portRT, len(node.Ports))
+		for pi, pid := range node.Ports {
+			p := g.Port(pid)
+			rt.ports[pi] = portRT{
+				peer:           p.Peer,
+				peerPort:       int16(g.PortToPeer(p.Peer, node.ID)),
+				egress:         make([]fifo, nPrio),
+				egressPaused:   make([]bool, nPrio),
+				inBytes:        make([]int64, nPrio),
+				pausedUpstream: make([]bool, nPrio),
+			}
+		}
+	}
+	return n
+}
+
+// InstallTagger enables the Tagger pipeline with the given rules; nil
+// disables it (all traffic rides its NIC-stamped priority unchanged —
+// the "without Tagger" baseline).
+func (n *Network) InstallTagger(rs *core.Ruleset) { n.rules = rs }
+
+// SetLegacyEgress selects the broken §7 behavior where the egress queue
+// is chosen by the packet's OLD priority (Figure 8a). Only meaningful
+// with a ruleset installed.
+func (n *Network) SetLegacyEgress(v bool) { n.legacyEgress = v }
+
+// Graph returns the topology.
+func (n *Network) Graph() *topology.Graph { return n.g }
+
+// Tables returns the live forwarding tables (scenarios may override).
+func (n *Network) Tables() *routing.Tables { return n.tables }
+
+// Drops returns the loss counters.
+func (n *Network) Drops() DropStats { return n.drops }
+
+// Now returns the current simulation time.
+func (n *Network) Now() time.Duration { return time.Duration(n.now) }
+
+// At schedules fn to run at simulation time t (it must not be earlier
+// than the current time when Run processes it).
+func (n *Network) At(t time.Duration, fn func()) {
+	n.schedule(event{at: int64(t), kind: evCall, fn: fn})
+}
+
+// Run processes events until the given simulation time.
+func (n *Network) Run(until time.Duration) {
+	limit := int64(until)
+	for len(n.events) > 0 {
+		if n.events[0].at > limit {
+			break
+		}
+		e := heap.Pop(&n.events).(event)
+		if e.at < n.now {
+			panic(fmt.Sprintf("sim: time went backwards: %d < %d", e.at, n.now))
+		}
+		n.now = e.at
+		switch e.kind {
+		case evArrive:
+			n.arrive(e.node, e.port, e.pkt)
+		case evTxDone:
+			n.txDone(e.node, e.port)
+		case evPFC:
+			n.pfcEffect(e.node, e.port, e.prio, e.on)
+		case evFlowKick:
+			n.tryHostTx(e.node, e.port)
+		case evCall:
+			e.fn()
+		}
+	}
+	if n.now < limit {
+		n.now = limit
+	}
+}
+
+// nodeIdx is a small helper converting NodeID to the runtime index.
+func (n *Network) rt(id topology.NodeID) *nodeRT { return &n.nodes[id] }
+
+// --- Packet arrival and the switch pipeline --------------------------------
+
+func (n *Network) arrive(nodeIdx, port int, pk *packet) {
+	rt := &n.nodes[nodeIdx]
+	if rt.isHost {
+		n.deliver(topology.NodeID(nodeIdx), pk)
+		return
+	}
+	id := rt.id
+
+	// TTL.
+	pk.ttl--
+	if pk.ttl <= 0 {
+		n.drops.TTLExpired++
+		n.trace(TraceEvent{Kind: "drop", Node: n.nodeName(id), Flow: pk.flow.spec.Name, Reason: "ttl"})
+		return
+	}
+
+	// Forwarding lookup: pinned flows follow their explicit path, all
+	// other traffic uses the (possibly overridden) tables with ECMP.
+	pk.hop++
+	var out int
+	if pin := pk.flow.spec.Pin; pin != nil {
+		if int(pk.hop)+1 >= len(pin) || pin[pk.hop] != id {
+			n.drops.NoRoute++ // pin desynchronized (cannot happen for valid pins)
+			n.trace(TraceEvent{Kind: "drop", Node: n.nodeName(id), Flow: pk.flow.spec.Name, Reason: "no-route"})
+			return
+		}
+		out = n.g.PortToPeer(id, pin[pk.hop+1])
+	} else {
+		hops := n.tables.NextHops(id, pk.flow.spec.Dst)
+		if len(hops) == 0 {
+			n.drops.NoRoute++
+			n.trace(TraceEvent{Kind: "drop", Node: n.nodeName(id), Flow: pk.flow.spec.Name, Reason: "no-route"})
+			return
+		}
+		out = hops[0]
+		if len(hops) > 1 {
+			out = hops[ecmpPick(pk.flow.hash, uint64(id), len(hops))]
+		}
+	}
+
+	// Tagger pipeline: ingress priority by current tag, rewrite, egress
+	// priority by the new tag (or the old one in legacy mode).
+	inPrio := n.prioOf(int(pk.tag))
+	newTag := int(pk.tag)
+	if n.rules != nil {
+		newTag = n.rules.Classify(id, int(pk.tag), port, out)
+	}
+	egPrio := n.prioOf(newTag)
+	if n.legacyEgress && inPrio != 0 {
+		egPrio = inPrio
+	}
+	if inPrio != 0 && n.prioOf(newTag) == 0 {
+		n.trace(TraceEvent{Kind: "demote", Node: n.nodeName(id), Flow: pk.flow.spec.Name})
+	}
+	pk.tag = int16(newTag)
+
+	prt := &rt.ports[port]
+
+	if inPrio == 0 {
+		// Lossy admission: bounded per egress queue.
+		if rt.ports[out].egress[0].bytes+int64(pk.size) > n.cfg.LossyCap {
+			n.drops.LossyOverflow++
+			n.trace(TraceEvent{Kind: "drop", Node: n.nodeName(id), Flow: pk.flow.spec.Name, Reason: "lossy-overflow"})
+			return
+		}
+	} else {
+		// Lossless admission: headroom must absorb it; beyond that the
+		// configuration was wrong and the packet drops (and is counted).
+		if prt.inBytes[inPrio]+int64(pk.size) > n.cfg.PFC.XoffThreshold+n.cfg.PFC.Headroom {
+			n.drops.HeadroomViolation++
+			n.trace(TraceEvent{Kind: "drop", Node: n.nodeName(id), Flow: pk.flow.spec.Name, Reason: "headroom"})
+			return
+		}
+	}
+
+	// Charge the shared buffer and the ingress counter (lossless only;
+	// lossy queues never generate PFC and are bounded at egress).
+	rt.bufferUsed += int64(pk.size)
+	pk.inPort = int16(port)
+	pk.inPrio = int16(inPrio)
+	if inPrio != 0 {
+		prt.inBytes[inPrio] += int64(pk.size)
+		if prt.inBytes[inPrio] > prt.maxInBytes {
+			prt.maxInBytes = prt.inBytes[inPrio]
+		}
+		if !prt.pausedUpstream[inPrio] && prt.inBytes[inPrio] >= n.xoff(rt) {
+			prt.pausedUpstream[inPrio] = true
+			n.sendPFC(rt, port, inPrio, true)
+		}
+	}
+
+	n.maybeMarkECN(pk, rt.ports[out].egress[egPrio].bytes)
+	rt.ports[out].egress[egPrio].push(*pk)
+	n.tryTx(nodeIdx, out)
+}
+
+// deliver sinks a packet at a host. Misdelivery (possible only under
+// scenario route overrides) counts as a routing drop.
+func (n *Network) deliver(at topology.NodeID, pk *packet) {
+	f := pk.flow
+	if at != f.spec.Dst {
+		n.drops.NoRoute++
+		return
+	}
+	f.received += int64(pk.size)
+	f.record(n.now, int64(pk.size))
+	f.lat.observe(n.now - pk.born)
+	if pk.ecn {
+		n.handleECNDelivery(f)
+	}
+}
+
+// prioOf maps a tag to a queue priority: lossless tags map to themselves
+// (bounded by MaxPriority); everything else is the lossy queue 0.
+func (n *Network) prioOf(tag int) int {
+	if tag >= 1 && tag <= n.cfg.MaxPriority {
+		if n.rules != nil && !n.rules.IsLossless(tag) {
+			return 0
+		}
+		return tag
+	}
+	return 0
+}
+
+// --- Transmission -----------------------------------------------------------
+
+// tryTx starts a transmission on (node, port) if the port is idle and an
+// eligible queue has data.
+func (n *Network) tryTx(nodeIdx, port int) {
+	rt := &n.nodes[nodeIdx]
+	prt := &rt.ports[port]
+	if prt.txBusy {
+		return
+	}
+	nPrio := len(prt.egress)
+	if n.cfg.StrictPriority {
+		// Highest lossless priority first; the lossy queue (0) only when
+		// every lossless queue is empty or paused.
+		for q := nPrio - 1; q >= 0; q-- {
+			if prt.egress[q].empty() || (q != 0 && prt.egressPaused[q]) {
+				continue
+			}
+			pk := prt.egress[q].pop()
+			n.startTx(nodeIdx, port, pk)
+			return
+		}
+		return
+	}
+	for i := 0; i < nPrio; i++ {
+		q := (prt.rrNext + i) % nPrio
+		if prt.egress[q].empty() {
+			continue
+		}
+		if q != 0 && prt.egressPaused[q] {
+			continue
+		}
+		prt.rrNext = (q + 1) % nPrio
+		pk := prt.egress[q].pop()
+		n.startTx(nodeIdx, port, pk)
+		return
+	}
+}
+
+func (n *Network) startTx(nodeIdx, port int, pk packet) {
+	rt := &n.nodes[nodeIdx]
+	prt := &rt.ports[port]
+	prt.txBusy = true
+	prt.txPkt = pk
+	tx := n.cfg.txTimeNs(int(pk.size))
+	done := n.now + tx
+	n.schedule(event{at: done, kind: evTxDone, node: nodeIdx, port: port})
+	arrival := done + int64(n.cfg.PropDelay)
+	heapPk := pk
+	n.schedule(event{
+		at: arrival, kind: evArrive,
+		node: int(prt.peer), port: int(prt.peerPort),
+		pkt: &heapPk,
+	})
+}
+
+func (n *Network) txDone(nodeIdx, port int) {
+	rt := &n.nodes[nodeIdx]
+	prt := &rt.ports[port]
+	prt.txBusy = false
+	if !rt.isHost {
+		n.releaseIngress(rt, &prt.txPkt)
+	}
+	n.tryTx(nodeIdx, port)
+	if rt.isHost {
+		n.tryHostTx(nodeIdx, port)
+	}
+}
+
+// xoff returns the switch's effective pause threshold: the static Xoff,
+// lowered by the dynamic-threshold rule when the shared buffer fills.
+func (n *Network) xoff(rt *nodeRT) int64 {
+	th := n.cfg.PFC.XoffThreshold
+	if n.cfg.DynamicThreshold {
+		free := n.cfg.SwitchBuffer - rt.bufferUsed
+		if free < 0 {
+			free = 0
+		}
+		if dt := int64(n.cfg.DTAlpha * float64(free)); dt < th {
+			th = dt
+		}
+		if min := int64(2 * n.cfg.MTU); th < min {
+			th = min
+		}
+	}
+	return th
+}
+
+// xon returns the resume threshold under the current buffer state.
+func (n *Network) xon(rt *nodeRT) int64 {
+	if !n.cfg.DynamicThreshold {
+		return n.cfg.PFC.XonThreshold
+	}
+	x := n.xoff(rt) - n.cfg.XonGap
+	if x < 0 {
+		x = 0
+	}
+	return x
+}
+
+// releaseIngress uncharges a transmitted packet from its ingress counter
+// and sends RESUME when occupancy falls to Xon.
+func (n *Network) releaseIngress(rt *nodeRT, pk *packet) {
+	rt.bufferUsed -= int64(pk.size)
+	if pk.inPrio == 0 || pk.inPort < 0 {
+		return
+	}
+	prt := &rt.ports[pk.inPort]
+	prt.inBytes[pk.inPrio] -= int64(pk.size)
+	if prt.pausedUpstream[pk.inPrio] && prt.inBytes[pk.inPrio] <= n.xon(rt) {
+		prt.pausedUpstream[pk.inPrio] = false
+		n.sendPFC(rt, int(pk.inPort), int(pk.inPrio), false)
+	}
+}
+
+// --- PFC --------------------------------------------------------------------
+
+// sendPFC emits a PAUSE (on=true) or RESUME frame out of (rt, port); it
+// takes effect at the peer after the propagation delay. Control frames
+// are not serialized behind data (switches emit them with highest
+// precedence from a dedicated reserve).
+func (n *Network) sendPFC(rt *nodeRT, port, prio int, on bool) {
+	if n.debugPFC != nil {
+		n.debugPFC(rt.id, port, prio, on)
+	}
+	if on {
+		n.PauseFrames++
+	} else {
+		n.ResumeFrames++
+	}
+	if n.tracer != nil {
+		kind := "resume"
+		if on {
+			kind = "pause"
+		}
+		n.trace(TraceEvent{Kind: kind, Node: n.nodeName(rt.id),
+			Peer: n.nodeName(rt.ports[port].peer), Prio: prio})
+		// Deadlock onset detection, piggybacked on pause emission to stay
+		// off the fast path when tracing is disabled.
+		if on {
+			if cyc := n.DetectDeadlock(); cyc != nil {
+				if !n.inDeadlock {
+					n.inDeadlock = true
+					n.trace(TraceEvent{Kind: "deadlock", Node: n.nodeName(rt.id), Cycle: cyc})
+				}
+			} else {
+				n.inDeadlock = false
+			}
+		}
+	}
+	prt := &rt.ports[port]
+	n.schedule(event{
+		at:   n.now + int64(n.cfg.PropDelay),
+		kind: evPFC,
+		node: int(prt.peer), port: int(prt.peerPort),
+		prio: prio, on: on,
+	})
+}
+
+func (n *Network) pfcEffect(nodeIdx, port, prio int, on bool) {
+	rt := &n.nodes[nodeIdx]
+	prt := &rt.ports[port]
+	prt.egressPaused[prio] = on
+	if !on {
+		n.tryTx(nodeIdx, port)
+		if rt.isHost {
+			n.tryHostTx(nodeIdx, port)
+		}
+	}
+}
+
+// ecmpPick deterministically selects an ECMP member.
+func ecmpPick(flowHash, salt uint64, m int) int {
+	x := flowHash ^ (salt * 0x9e3779b97f4a7c15)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return int(x % uint64(m))
+}
+
+// MaxIngressObserved returns the fabric-wide high-water mark of lossless
+// ingress occupancy — tests assert it stays within Xoff+headroom.
+func (n *Network) MaxIngressObserved() int64 {
+	var m int64
+	for i := range n.nodes {
+		for p := range n.nodes[i].ports {
+			if v := n.nodes[i].ports[p].maxInBytes; v > m {
+				m = v
+			}
+		}
+	}
+	return m
+}

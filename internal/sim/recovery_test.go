@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/routing"
+)
+
+// TestRecoveryDeadlockReforms quantifies the paper's argument against
+// detect-and-break schemes: with the CBD-forming traffic still running,
+// every broken deadlock reappears, so detections keep accumulating and
+// lossless packets keep being sacrificed.
+func TestRecoveryDeadlockReforms(t *testing.T) {
+	c, tb, n := testbedNet(t, routing.UpDown)
+	g := c.Graph
+	forceFig3Routes(c, tb)
+	stats := n.EnableRecovery(500 * time.Microsecond)
+	green := n.AddFlow(FlowSpec{Name: "green", Src: g.MustLookup("H9"), Dst: g.MustLookup("H1")})
+	blue := n.AddFlow(FlowSpec{Name: "blue", Src: g.MustLookup("H2"), Dst: g.MustLookup("H13"),
+		Start: time.Millisecond})
+	n.Run(30 * time.Millisecond)
+
+	if stats.Detections < 3 {
+		t.Fatalf("deadlock should reform repeatedly, detections = %d", stats.Detections)
+	}
+	if stats.PacketsDropped == 0 || stats.BytesDropped == 0 {
+		t.Error("recovery should have sacrificed lossless packets")
+	}
+	// The flows make *some* progress between reformations — strictly more
+	// than the frozen baseline, strictly worse than the fair share Tagger
+	// achieves.
+	rg := green.MeanGbps(10*time.Millisecond, 30*time.Millisecond)
+	rb := blue.MeanGbps(10*time.Millisecond, 30*time.Millisecond)
+	if rg+rb <= 0.1 {
+		t.Errorf("recovery achieved nothing: %.2f + %.2f Gbps", rg, rb)
+	}
+	if rg+rb > 35 {
+		t.Errorf("recovery suspiciously good (%.2f Gbps aggregate); Tagger-level", rg+rb)
+	}
+	t.Logf("detections=%d dropped=%d pkts, goodput=%.1f+%.1f Gbps",
+		stats.Detections, stats.PacketsDropped, rg, rb)
+}
+
+// TestRecoveryIdleUnderTagger: with Tagger installed the monitor never
+// fires — prevention beats recovery.
+func TestRecoveryIdleUnderTagger(t *testing.T) {
+	c, tb, n := testbedNet(t, routing.UpDown)
+	g := c.Graph
+	forceFig3Routes(c, tb)
+	n.InstallTagger(core.ClosRules(g, 1, 1))
+	stats := n.EnableRecovery(500 * time.Microsecond)
+	n.AddFlow(FlowSpec{Name: "green", Src: g.MustLookup("H9"), Dst: g.MustLookup("H1")})
+	n.AddFlow(FlowSpec{Name: "blue", Src: g.MustLookup("H2"), Dst: g.MustLookup("H13"),
+		Start: time.Millisecond})
+	n.Run(20 * time.Millisecond)
+
+	if stats.Detections != 0 {
+		t.Fatalf("recovery fired %d times under Tagger", stats.Detections)
+	}
+	if stats.PacketsDropped != 0 {
+		t.Error("packets sacrificed under Tagger")
+	}
+}

@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/paper"
+	"repro/internal/routing"
+)
+
+// strictNet builds a testbed network in strict-priority mode with a
+// 2-class Tagger deployment.
+func strictNet(t *testing.T) (*Network, *Flow, *Flow) {
+	t.Helper()
+	c := paper.Testbed()
+	tb := routing.ComputeToHosts(c.Graph, routing.UpDown)
+	cfg := DefaultConfig()
+	cfg.StrictPriority = true
+	n := New(c.Graph, tb, cfg)
+	n.InstallTagger(core.ClosRules(c.Graph, 1, 2))
+	g := c.Graph
+	hi := n.AddFlow(FlowSpec{Name: "hi", Src: g.MustLookup("H5"), Dst: g.MustLookup("H1"), StartTag: 2})
+	lo := n.AddFlow(FlowSpec{Name: "lo", Src: g.MustLookup("H9"), Dst: g.MustLookup("H1"), StartTag: 1})
+	return n, hi, lo
+}
+
+// TestStrictPriorityFavorsHighClass: under strict priority the tag-2
+// class takes the whole shared bottleneck; round-robin splits it evenly.
+func TestStrictPriorityFavorsHighClass(t *testing.T) {
+	n, hi, lo := strictNet(t)
+	n.Run(10 * time.Millisecond)
+	rHi := hi.MeanGbps(5*time.Millisecond, 10*time.Millisecond)
+	rLo := lo.MeanGbps(5*time.Millisecond, 10*time.Millisecond)
+	if rHi < 30 {
+		t.Errorf("strict: hi class at %.1f Gbps, want near line rate", rHi)
+	}
+	if rLo > rHi/2 {
+		t.Errorf("strict: lo class at %.1f vs hi %.1f — not strict", rLo, rHi)
+	}
+	if d := n.Drops(); d.Total() != 0 {
+		t.Errorf("drops: %+v", d)
+	}
+
+	// Control: round-robin shares evenly.
+	c := paper.Testbed()
+	tb := routing.ComputeToHosts(c.Graph, routing.UpDown)
+	rr := New(c.Graph, tb, DefaultConfig())
+	rr.InstallTagger(core.ClosRules(c.Graph, 1, 2))
+	g := c.Graph
+	hi2 := rr.AddFlow(FlowSpec{Name: "hi", Src: g.MustLookup("H5"), Dst: g.MustLookup("H1"), StartTag: 2})
+	lo2 := rr.AddFlow(FlowSpec{Name: "lo", Src: g.MustLookup("H9"), Dst: g.MustLookup("H1"), StartTag: 1})
+	rr.Run(10 * time.Millisecond)
+	a := hi2.MeanGbps(5*time.Millisecond, 10*time.Millisecond)
+	b := lo2.MeanGbps(5*time.Millisecond, 10*time.Millisecond)
+	if a < 15 || b < 15 {
+		t.Errorf("round-robin should share: %.1f / %.1f", a, b)
+	}
+}
+
+// TestStrictPriorityStillDeadlockFree: scheduling discipline does not
+// affect Tagger's guarantee.
+func TestStrictPriorityStillDeadlockFree(t *testing.T) {
+	c := paper.Testbed()
+	tb := routing.ComputeToHosts(c.Graph, routing.UpDown)
+	cfg := DefaultConfig()
+	cfg.StrictPriority = true
+	n := New(c.Graph, tb, cfg)
+	g := c.Graph
+	forceFig3Routes(c, tb)
+	n.InstallTagger(core.ClosRules(g, 1, 1))
+	n.AddFlow(FlowSpec{Name: "green", Src: g.MustLookup("H9"), Dst: g.MustLookup("H1")})
+	n.AddFlow(FlowSpec{Name: "blue", Src: g.MustLookup("H2"), Dst: g.MustLookup("H13"),
+		Start: time.Millisecond})
+	n.Run(15 * time.Millisecond)
+	if n.Deadlocked() {
+		t.Fatal("deadlock under strict priority with Tagger")
+	}
+	if d := n.Drops(); d.HeadroomViolation != 0 {
+		t.Errorf("lossless drops: %+v", d)
+	}
+}

@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/topology"
+)
+
+// TraceEvent is one line of the simulator's structured event log.
+type TraceEvent struct {
+	// T is the simulation time in nanoseconds.
+	T int64 `json:"t"`
+	// Kind is "pause", "resume", "drop", "deadlock" or "demote".
+	Kind string `json:"kind"`
+	// Node names the switch where the event happened.
+	Node string `json:"node"`
+	// Peer names the other end for pause/resume.
+	Peer string `json:"peer,omitempty"`
+	// Prio is the PFC priority involved.
+	Prio int `json:"prio,omitempty"`
+	// Flow names the flow for drop/demote events.
+	Flow string `json:"flow,omitempty"`
+	// Reason qualifies drops ("ttl", "lossy-overflow", "no-route",
+	// "headroom").
+	Reason string `json:"reason,omitempty"`
+	// Cycle carries the pause-wait cycle for deadlock events.
+	Cycle []string `json:"cycle,omitempty"`
+}
+
+// Tracer receives simulator events as they happen. Implementations must
+// be fast; they run inline with the event loop.
+type Tracer interface {
+	Trace(ev TraceEvent)
+}
+
+// JSONLTracer writes one JSON object per line, the standard interchange
+// format for offline analysis.
+type JSONLTracer struct {
+	W io.Writer
+	// Err records the first write error; tracing stops reporting after.
+	Err error
+	enc *json.Encoder
+}
+
+// Trace implements Tracer.
+func (t *JSONLTracer) Trace(ev TraceEvent) {
+	if t.Err != nil {
+		return
+	}
+	if t.enc == nil {
+		t.enc = json.NewEncoder(t.W)
+	}
+	t.Err = t.enc.Encode(ev)
+}
+
+// CountingTracer tallies events by kind — the cheap always-on option.
+type CountingTracer struct {
+	Counts map[string]int64
+}
+
+// Trace implements Tracer.
+func (t *CountingTracer) Trace(ev TraceEvent) {
+	if t.Counts == nil {
+		t.Counts = make(map[string]int64)
+	}
+	t.Counts[ev.Kind]++
+}
+
+// SetTracer installs an event tracer (nil disables). The tracer sees
+// PFC pause/resume emissions, every packet drop with its cause, lossless
+// to lossy demotions, and deadlock onsets (the first detection after any
+// deadlock-free period, checked lazily at pause emissions to stay cheap).
+func (n *Network) SetTracer(tr Tracer) { n.tracer = tr }
+
+func (n *Network) trace(ev TraceEvent) {
+	if n.tracer == nil {
+		return
+	}
+	ev.T = n.now
+	n.tracer.Trace(ev)
+}
+
+func (n *Network) nodeName(id topology.NodeID) string { return n.g.Node(id).Name }
+
+// WriteTraceSummary renders a CountingTracer's tallies.
+func WriteTraceSummary(w io.Writer, t *CountingTracer, d time.Duration) {
+	fmt.Fprintf(w, "trace over %v:\n", d)
+	for _, k := range []string{"pause", "resume", "demote", "drop", "deadlock"} {
+		if c := t.Counts[k]; c > 0 {
+			fmt.Fprintf(w, "  %-8s %d\n", k, c)
+		}
+	}
+}

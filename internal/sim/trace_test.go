@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+func TestCountingTracerSeesPFC(t *testing.T) {
+	c, _, n := testbedNet(t, routing.UpDown)
+	g := c.Graph
+	tr := &CountingTracer{}
+	n.SetTracer(tr)
+	n.AddFlow(FlowSpec{Name: "a", Src: g.MustLookup("H5"), Dst: g.MustLookup("H1")})
+	n.AddFlow(FlowSpec{Name: "b", Src: g.MustLookup("H9"), Dst: g.MustLookup("H1")})
+	n.Run(5 * time.Millisecond)
+	if tr.Counts["pause"] == 0 || tr.Counts["resume"] == 0 {
+		t.Fatalf("counts: %v", tr.Counts)
+	}
+	if tr.Counts["pause"] != n.PauseFrames {
+		t.Errorf("tracer pauses %d vs counter %d", tr.Counts["pause"], n.PauseFrames)
+	}
+	var buf bytes.Buffer
+	WriteTraceSummary(&buf, tr, 5*time.Millisecond)
+	if !strings.Contains(buf.String(), "pause") {
+		t.Errorf("summary: %q", buf.String())
+	}
+}
+
+func TestJSONLTracerDeadlockOnset(t *testing.T) {
+	c, tb, n := testbedNet(t, routing.UpDown)
+	g := c.Graph
+	forceFig3Routes(c, tb)
+	var buf bytes.Buffer
+	n.SetTracer(&JSONLTracer{W: &buf})
+	n.AddFlow(FlowSpec{Name: "green", Src: g.MustLookup("H9"), Dst: g.MustLookup("H1")})
+	n.AddFlow(FlowSpec{Name: "blue", Src: g.MustLookup("H2"), Dst: g.MustLookup("H13"),
+		Start: time.Millisecond})
+	n.Run(10 * time.Millisecond)
+
+	var sawDeadlock bool
+	dec := json.NewDecoder(&buf)
+	for dec.More() {
+		var ev TraceEvent
+		if err := dec.Decode(&ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Kind == "deadlock" {
+			sawDeadlock = true
+			if len(ev.Cycle) < 2 {
+				t.Errorf("deadlock event without cycle: %+v", ev)
+			}
+			if ev.T <= 0 {
+				t.Errorf("deadlock event without timestamp: %+v", ev)
+			}
+		}
+	}
+	if !sawDeadlock {
+		t.Fatal("no deadlock onset event traced")
+	}
+}
+
+func TestTracerDemoteAndDrops(t *testing.T) {
+	// Routing loop with Tagger: looped packets are demoted to lossy and
+	// then die; the tracer must see both.
+	c, tb, n := testbedNet(t, routing.UpDown)
+	g := c.Graph
+	nn := func(s string) topology.NodeID { return g.MustLookup(s) }
+	n.InstallTagger(core.ClosRules(g, 1, 1))
+	tr := &CountingTracer{}
+	n.SetTracer(tr)
+	n.AddFlow(FlowSpec{Name: "F2", Src: nn("H2"), Dst: nn("H6")})
+	n.At(time.Millisecond, func() {
+		tb.OverrideNextNode(nn("T1"), nn("H6"), nn("L1"))
+		tb.OverrideNextNode(nn("L1"), nn("H6"), nn("T1"))
+	})
+	n.Run(8 * time.Millisecond)
+	if tr.Counts["demote"] == 0 {
+		t.Error("no demotions traced")
+	}
+	if tr.Counts["drop"] == 0 {
+		t.Error("no drops traced")
+	}
+	if tr.Counts["deadlock"] != 0 {
+		t.Error("phantom deadlock traced under Tagger")
+	}
+}
+
+func TestJSONLTracerWriteError(t *testing.T) {
+	tr := &JSONLTracer{W: failingWriter{}}
+	tr.Trace(TraceEvent{Kind: "pause"})
+	if tr.Err == nil {
+		t.Fatal("write error not captured")
+	}
+	tr.Trace(TraceEvent{Kind: "pause"}) // must not panic after error
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) {
+	return 0, errWrite
+}
+
+var errWrite = &writeErr{}
+
+type writeErr struct{}
+
+func (*writeErr) Error() string { return "sink failed" }

@@ -1,0 +1,73 @@
+package tcam
+
+import (
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+// QueueKind distinguishes lossless priority queues from the lossy queue.
+type QueueKind uint8
+
+// Queue kinds.
+const (
+	Lossless QueueKind = iota
+	Lossy
+)
+
+// QueueDecision is where the pipeline put a packet and with what tag.
+type QueueDecision struct {
+	IngressQueue int // queue index at ingress (by old tag)
+	EgressQueue  int // queue index at egress (by new tag) — §7's key fix
+	NewTag       int
+	Kind         QueueKind
+}
+
+// Pipeline is the three-step match-action pipeline of §7 (Figure 7):
+//
+//	step 1: match tag        -> ingress priority queue
+//	step 2: match (tag,in,out) -> rewrite tag
+//	step 3: match NEW tag    -> egress priority queue
+//
+// Step 3 must use the rewritten tag: enqueueing the packet by its old
+// priority means a downstream PFC PAUSE for the new priority cannot pause
+// the queue the packet actually sits in, causing drops (Figure 8). Setting
+// LegacyEgressByOldTag simulates that broken default for the ablation
+// experiment.
+type Pipeline struct {
+	Rules *core.Ruleset
+	// LegacyEgressByOldTag reproduces the §7 failure mode where the egress
+	// queue is selected by the ingress priority.
+	LegacyEgressByOldTag bool
+}
+
+// queueOf maps a tag to a queue index: lossless tag t occupies queue t
+// (1-based); everything else is the lossy queue 0.
+func (pl *Pipeline) queueOf(tag int) (int, QueueKind) {
+	if pl.Rules.IsLossless(tag) {
+		return tag, Lossless
+	}
+	return 0, Lossy
+}
+
+// Process classifies a packet at switch sw arriving on ingress port in
+// with the given tag, destined for egress port out.
+func (pl *Pipeline) Process(sw topology.NodeID, tag, in, out int) QueueDecision {
+	var d QueueDecision
+	var inKind QueueKind
+	d.IngressQueue, inKind = pl.queueOf(tag)
+	d.NewTag = pl.Rules.Classify(sw, tag, in, out)
+	if pl.LegacyEgressByOldTag {
+		d.EgressQueue = d.IngressQueue
+		d.Kind = inKind
+		if d.NewTag == core.LossyTag {
+			// Even the legacy path cannot keep a lossy packet lossless.
+			d.EgressQueue, d.Kind = pl.queueOf(d.NewTag)
+		}
+		return d
+	}
+	d.EgressQueue, d.Kind = pl.queueOf(d.NewTag)
+	return d
+}
+
+// LosslessQueues returns how many lossless queues the pipeline needs.
+func (pl *Pipeline) LosslessQueues() int { return pl.Rules.MaxTag() }

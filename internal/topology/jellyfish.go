@@ -1,0 +1,195 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// JellyfishConfig describes a Jellyfish random-regular topology (Singla et
+// al., NSDI 2012). Each of Switches switches has Ports ports; NetPorts of
+// them interconnect switches as a random r-regular graph and the remaining
+// Ports-NetPorts attach servers. The Tagger paper's Table 5 uses half the
+// ports for servers, which is the default when NetPorts is zero.
+type JellyfishConfig struct {
+	Switches int
+	Ports    int
+	NetPorts int   // switch-to-switch ports per switch; 0 means Ports/2
+	Seed     int64 // RNG seed; construction is deterministic per seed
+}
+
+// Jellyfish is a built Jellyfish topology.
+type Jellyfish struct {
+	Graph    *Graph
+	Config   JellyfishConfig
+	Switches []NodeID
+	Hosts    []NodeID
+}
+
+// NewJellyfish builds a random regular Jellyfish graph using the standard
+// construction: repeatedly join random pairs of switches with free ports,
+// and when random pairing starves, relieve it with the edge swap from the
+// Jellyfish paper (break an existing edge (a,b), connect the stuck switch
+// to both a and b). The edge set is computed abstractly first and only the
+// final edges are materialized, so switches never carry dead ports. The
+// result must be connected; the builder retries with derived seeds.
+func NewJellyfish(cfg JellyfishConfig) (*Jellyfish, error) {
+	if cfg.Switches < 2 {
+		return nil, fmt.Errorf("jellyfish: need at least 2 switches, got %d", cfg.Switches)
+	}
+	if cfg.Ports < 2 {
+		return nil, fmt.Errorf("jellyfish: need at least 2 ports, got %d", cfg.Ports)
+	}
+	net := cfg.NetPorts
+	if net == 0 {
+		net = cfg.Ports / 2
+	}
+	if net < 1 || net > cfg.Ports {
+		return nil, fmt.Errorf("jellyfish: NetPorts %d out of range for %d ports", net, cfg.Ports)
+	}
+	if net >= cfg.Switches {
+		return nil, fmt.Errorf("jellyfish: NetPorts %d must be < Switches %d", net, cfg.Switches)
+	}
+
+	for attempt := 0; attempt < 8; attempt++ {
+		seed := cfg.Seed + int64(attempt)*1_000_003
+		edges, ok := randomRegularEdges(cfg.Switches, net, seed)
+		if !ok || !edgesConnected(cfg.Switches, edges) {
+			continue
+		}
+		return materializeJellyfish(cfg, net, edges), nil
+	}
+	return nil, fmt.Errorf("jellyfish: failed to build connected graph for %+v", cfg)
+}
+
+type jfEdge struct{ a, b int }
+
+// randomRegularEdges computes the switch-switch edge set of an (almost)
+// net-regular simple graph on n vertices.
+func randomRegularEdges(n, net int, seed int64) ([]jfEdge, bool) {
+	rng := rand.New(rand.NewSource(seed))
+	free := make([]int, n)
+	for i := range free {
+		free[i] = net
+	}
+	adj := make([]map[int]bool, n)
+	for i := range adj {
+		adj[i] = make(map[int]bool)
+	}
+	var edges []jfEdge
+
+	add := func(a, b int) {
+		adj[a][b], adj[b][a] = true, true
+		free[a]--
+		free[b]--
+		edges = append(edges, jfEdge{a, b})
+	}
+	remove := func(ei int) jfEdge {
+		e := edges[ei]
+		adj[e.a][e.b], adj[e.b][e.a] = false, false
+		free[e.a]++
+		free[e.b]++
+		edges[ei] = edges[len(edges)-1]
+		edges = edges[:len(edges)-1]
+		return e
+	}
+
+	stuck := 0
+	for {
+		var cand []int
+		for i, f := range free {
+			if f > 0 {
+				cand = append(cand, i)
+			}
+		}
+		switch {
+		case len(cand) == 0:
+			return edges, true
+		case len(cand) == 1:
+			// Single switch v with >= 1 free port. If it has >= 2, the
+			// classic swap applies: break a random (a,b) with a,b not
+			// adjacent to v and wire v-a, v-b. With exactly 1 free port
+			// left the graph cannot be made exactly regular (odd total);
+			// accept the near-regular graph, as the Jellyfish paper does.
+			v := cand[0]
+			if free[v] < 2 {
+				return edges, true
+			}
+			swapped := false
+			for tries := 0; tries < 200 && !swapped; tries++ {
+				ei := rng.Intn(len(edges))
+				e := edges[ei]
+				if e.a == v || e.b == v || adj[v][e.a] || adj[v][e.b] {
+					continue
+				}
+				remove(ei)
+				add(v, e.a)
+				add(v, e.b)
+				swapped = true
+			}
+			if !swapped {
+				return edges, true
+			}
+		default:
+			a := cand[rng.Intn(len(cand))]
+			b := cand[rng.Intn(len(cand))]
+			if a == b || adj[a][b] {
+				stuck++
+				if stuck > 200*n {
+					return edges, false
+				}
+				continue
+			}
+			stuck = 0
+			add(a, b)
+		}
+	}
+}
+
+func edgesConnected(n int, edges []jfEdge) bool {
+	if n == 0 {
+		return true
+	}
+	adj := make([][]int, n)
+	for _, e := range edges {
+		adj[e.a] = append(adj[e.a], e.b)
+		adj[e.b] = append(adj[e.b], e.a)
+	}
+	seen := make([]bool, n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count == n
+}
+
+func materializeJellyfish(cfg JellyfishConfig, net int, edges []jfEdge) *Jellyfish {
+	g := New()
+	j := &Jellyfish{Graph: g, Config: cfg}
+	for s := 0; s < cfg.Switches; s++ {
+		j.Switches = append(j.Switches, g.AddNode(fmt.Sprintf("J%d", s+1), KindSwitch, -1))
+	}
+	for _, e := range edges {
+		g.Connect(j.Switches[e.a], j.Switches[e.b])
+	}
+	hostPorts := cfg.Ports - net
+	hn := 1
+	for s := 0; s < cfg.Switches; s++ {
+		for h := 0; h < hostPorts; h++ {
+			hid := g.AddNode(fmt.Sprintf("JH%d", hn), KindHost, 0)
+			hn++
+			j.Hosts = append(j.Hosts, hid)
+			g.Connect(hid, j.Switches[s])
+		}
+	}
+	return j
+}

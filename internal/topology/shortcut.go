@@ -1,0 +1,30 @@
+package topology
+
+import "fmt"
+
+// AddShortcut installs a direct ToR-to-ToR (or leaf-to-leaf) link — the
+// §6 "flexible topology architectures" case: optical (Helios), wireless
+// (Flyways) or free-space (ProjecToR) shortcuts grafted onto a Clos.
+// Tagger supports them "as long as the ELP set is specified"; the
+// shortcut is just another edge for paths to use. Returns the new link.
+//
+// Both endpoints must be switches of the same layer (shortcuts bypass the
+// hierarchy horizontally); anything else is a configuration error.
+func AddShortcut(g *Graph, a, b NodeID) (LinkID, error) {
+	na, nb := g.Node(a), g.Node(b)
+	if !na.Kind.IsSwitch() || !nb.Kind.IsSwitch() {
+		return InvalidLink, fmt.Errorf("topology: shortcut endpoints must be switches (%s, %s)",
+			na.Name, nb.Name)
+	}
+	if na.Layer != nb.Layer {
+		return InvalidLink, fmt.Errorf("topology: shortcut endpoints must share a layer (%s layer %d, %s layer %d)",
+			na.Name, na.Layer, nb.Name, nb.Layer)
+	}
+	if a == b {
+		return InvalidLink, fmt.Errorf("topology: shortcut to self")
+	}
+	if g.LinkBetween(a, b) != nil {
+		return InvalidLink, fmt.Errorf("topology: %s and %s already connected", na.Name, nb.Name)
+	}
+	return g.Connect(a, b), nil
+}

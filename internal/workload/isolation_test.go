@@ -1,0 +1,42 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+// TestMultiClassIsolationCost measures the §6 trade-off: when a class-1
+// flow bounces into class 2's priority and then gets congested, its PFC
+// pauses throttle the innocent class-2 victim; with the same load on a
+// normal (unbounced) route the victim keeps its fair share.
+func TestMultiClassIsolationCost(t *testing.T) {
+	mixed := MultiClassIsolation(true)
+	mixed.Run()
+	clean := MultiClassIsolation(false)
+	clean.Run()
+
+	from, to := 8*time.Millisecond, 15*time.Millisecond
+	victimMixed := mixed.ByName["victim"].MeanGbps(from, to)
+	victimClean := clean.ByName["victim"].MeanGbps(from, to)
+
+	if mixed.Net.Deadlocked() || clean.Net.Deadlocked() {
+		t.Fatal("isolation experiment deadlocked")
+	}
+	if victimClean < 15 {
+		t.Fatalf("clean victim rate = %.1f Gbps, scenario miswired", victimClean)
+	}
+	if victimMixed >= victimClean {
+		t.Errorf("no isolation cost visible: mixed %.1f >= clean %.1f Gbps",
+			victimMixed, victimClean)
+	}
+	t.Logf("victim: clean %.1f Gbps vs mixed-with-bounced-class-1 %.1f Gbps",
+		victimClean, victimMixed)
+
+	// Losslessness holds for everyone in both runs.
+	if d := mixed.Net.Drops(); d.HeadroomViolation != 0 || d.LossyOverflow != 0 {
+		t.Errorf("mixed drops: %+v", d)
+	}
+	if d := clean.Net.Drops(); d.Total() != 0 {
+		t.Errorf("clean drops: %+v", d)
+	}
+}

@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Reconvergence builds the organic version of the Figure 3 story: no
+// pinned paths. Cross-pod flows run on normal ECMP up-down routes; at 5 ms
+// the two Figure 3 links (L1-T1 and L3-T4) fail and the failure is
+// handled the way §3.1/§3.2 describe production networks handling it —
+// asynchronously:
+//
+//   - the switches adjacent to the failures install local detours
+//     immediately (L1 sends T1-bound traffic back up to a spine; L3 does
+//     the same for T4-bound traffic): the 1-bounce paths;
+//   - the rest of the fabric keeps its old routes ("there is no guarantee
+//     that all routers will react to network dynamics at the exact same
+//     time"; the paper measured such routes persisting for minutes).
+//
+// Upstream traffic therefore keeps arriving at L1/L3 and bounces; flows
+// whose spine-side ECMP hash points at the broken leaf even ping-pong in
+// a transient micro-loop (the spine's stale route sends them straight
+// back) — the §3.2 pathologies, organically. At 15 ms routing converges
+// globally (Recompute) and the fabric heals. With Tagger no phase of this
+// can deadlock: bounces ride the second lossless class and loop packets
+// exhaust the bounce budget and die in the lossy class.
+func Reconvergence(opt Options, flows int) *Scenario {
+	s := newScenario(opt, 25*time.Millisecond)
+	g := s.Clos.Graph
+	n := func(name string) topology.NodeID { return g.MustLookup(name) }
+
+	// Cross-pod pairs in both directions so both detours carry load.
+	pairs := [][2]string{
+		{"H9", "H1"}, {"H2", "H13"}, {"H10", "H3"}, {"H4", "H14"},
+		{"H11", "H2"}, {"H1", "H15"}, {"H12", "H4"}, {"H3", "H16"},
+	}
+	if flows > len(pairs) {
+		flows = len(pairs)
+	}
+	for i := 0; i < flows; i++ {
+		s.addFlow(sim.FlowSpec{
+			Name:  pairs[i][0] + ">" + pairs[i][1],
+			Src:   n(pairs[i][0]),
+			Dst:   n(pairs[i][1]),
+			Start: time.Duration(i) * 250 * time.Microsecond,
+		})
+	}
+
+	s.Net.At(5*time.Millisecond, func() {
+		g.FailLink(n("L1"), n("T1"))
+		g.FailLink(n("L3"), n("T4"))
+		// Local fast-reroute at the failure points; the rest of the
+		// fabric has not converged yet.
+		for _, h := range []string{"H1", "H2", "H3", "H4"} {
+			s.Tables.OverrideNextNode(n("L1"), n(h), n("S1"))
+		}
+		for _, h := range []string{"H13", "H14", "H15", "H16"} {
+			s.Tables.OverrideNextNode(n("L3"), n(h), n("S2"))
+		}
+	})
+	s.Net.At(15*time.Millisecond, func() {
+		// Global convergence: valley-free routes around the failures.
+		s.Tables.Recompute()
+	})
+	return s
+}

@@ -1,8 +1,11 @@
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz cover examples experiments clean
+.PHONY: all check build vet test race bench fuzz cover examples experiments clean
 
-all: build vet test
+all: check
+
+# check is the pre-merge gate: build, vet, tests, and the race detector.
+check: build vet test race
 
 build:
 	$(GO) build ./...
@@ -49,6 +52,7 @@ experiments:
 	$(GO) run ./cmd/taggersim -exp budget
 	$(GO) run ./cmd/taggersim -exp compression
 	$(GO) run ./cmd/taggersim -exp multiclass
+	$(GO) run ./cmd/taggersim -exp chaos
 	$(GO) run ./cmd/taggerscale
 	$(GO) run ./cmd/taggerscale -bcube
 

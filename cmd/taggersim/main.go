@@ -8,6 +8,7 @@
 //	taggersim -exp fig12            # PAUSE propagation (Figure 12)
 //	taggersim -exp table1 -days 7   # reroute measurement (Table 1)
 //	taggersim -exp overhead         # §8 performance penalty
+//	taggersim -exp chaos -seeds 3   # seeded chaos soak with watchdog
 //
 // Each figure experiment runs twice — without and with Tagger — matching
 // the paper's paired plots.
@@ -28,7 +29,8 @@ func main() {
 	log.SetPrefix("taggersim: ")
 
 	var (
-		exp    = flag.String("exp", "fig10", "experiment: fig10, fig11, fig12, table1, overhead, multiclass, recovery, dcqcn, budget, compression, isolation, reconverge")
+		exp    = flag.String("exp", "fig10", "experiment: fig10, fig11, fig12, table1, overhead, multiclass, recovery, dcqcn, budget, compression, isolation, reconverge, chaos")
+		seeds  = flag.Int("seeds", 3, "chaos: number of fault schedules to run (seeds 1..n)")
 		days   = flag.Int("days", 7, "table1: days to simulate")
 		perDay = flag.Int64("per-day", 1_000_000, "table1: measurements per day")
 		trace  = flag.String("trace", "", "write a JSONL event trace of figure experiments to this file")
@@ -115,6 +117,32 @@ func main() {
 		fmt.Println()
 		fmt.Println("=== WITH Tagger (k=1) ===")
 		printExperiment(tagger.Reconvergence(true, 8))
+	case "chaos":
+		fmt.Printf("chaos soak: %d seeded fault schedules over the testbed (link flaps,\n", *seeds)
+		fmt.Println("switch reboots, faulty switch agents); a 500us watchdog samples for")
+		fmt.Println("pause-wait cycles; Tagger rules deploy through the unreliable agents")
+		fmt.Println()
+		for seed := int64(1); seed <= int64(*seeds); seed++ {
+			with, err := tagger.ChaosSoak(seed, true)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			without, err := tagger.ChaosSoak(seed, false)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("seed %-3d %2d faults | with Tagger: clean=%v (bring-up attempts=%d, install failures=%d, partial installs caught=%d) | without: deadlocked=%v (%d/%d samples)\n",
+				seed, with.Faults, with.Clean(), with.DeployAttempts,
+				with.DeployCounters["deploy.install.fail"],
+				with.DeployCounters["deploy.partial_detected"],
+				without.Deadlocked, without.Watchdog.DeadlockSamples, without.Watchdog.Samples)
+			if without.FirstDeadlock != nil {
+				fmt.Printf("         first cycle at %v: %s\n",
+					without.Watchdog.FirstDeadlockAt, tagger.DeadlockString(without.FirstDeadlock))
+			}
+		}
 	case "compression":
 		lv := tagger.CompressionAblation()
 		fmt.Printf("testbed rule set compression (§7/Figure 9):\n")

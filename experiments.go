@@ -5,7 +5,10 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/chaos"
+	"repro/internal/controller"
 	"repro/internal/core"
+	"repro/internal/deploy"
 	"repro/internal/elp"
 	"repro/internal/measure"
 	"repro/internal/metrics"
@@ -572,6 +575,110 @@ func IsolationCost() IsolationResult {
 		VictimCleanGbps: clean.ByName["victim"].MeanGbps(from, to),
 		VictimMixedGbps: mixed.ByName["victim"].MeanGbps(from, to),
 	}
+}
+
+// --- Chaos soak: fault-tolerant deployment + continuous watchdog -------------------------
+
+// ChaosSoakResult is one seeded soak verdict: a chaos schedule ran
+// against the testbed, a continuous watchdog sampled for pause-wait
+// cycles, and (with Tagger) the rules reached the fabric through an
+// unreliable agent fleet consuming the same schedule's RPC faults.
+type ChaosSoakResult struct {
+	Seed   int64
+	Faults int // schedule length
+	// Deadlocked reports whether the watchdog ever observed a cycle.
+	Deadlocked    bool
+	FirstDeadlock []string
+	Watchdog      sim.WatchdogStats
+	Drops         sim.DropStats
+	// Deployment outcome (withTagger only): how many controller
+	// bring-up attempts the agent faults forced, the audit counters of
+	// the successful one, and whether the fabric's ACTIVE rule state was
+	// verified identical to the controller's bundle before the soak —
+	// the "never runs a half-installed bundle" guarantee.
+	DeployAttempts int
+	DeployCounters map[string]int64
+	FabricVerified bool
+}
+
+// Clean reports the soak invariant for a Tagger deployment: no deadlock
+// and no lossless drops (reboot losses excluded by construction).
+func (r ChaosSoakResult) Clean() bool {
+	return !r.Deadlocked && r.Watchdog.LosslessDrops == 0
+}
+
+// ChaosSoakConfig returns the default schedule shape for the testbed:
+// flaps over the Figure 3 cross-pod leaf-ToR links, reboots and agent
+// faults on switches outside the CBD.
+func ChaosSoakConfig() chaos.Config {
+	return chaos.Config{
+		Duration:      40 * time.Millisecond,
+		Links:         workload.ChaosLinks(),
+		Switches:      workload.ChaosSwitches(),
+		LinkFlaps:     3,
+		Reboots:       2,
+		InstallFaults: 2,
+		RPCFaults:     2,
+	}
+}
+
+// ChaosSoak runs one seeded chaos schedule. With Tagger, rules are
+// deployed through a chaos.Fabric loaded with the schedule's agent
+// faults: installs fail transiently or land partially, the controller
+// retries/verifies/rolls back, and bring-up is re-attempted until the
+// fabric runs a fully verified bundle — which is then what the packet
+// simulation executes. Without Tagger the identical schedule runs bare,
+// reproducing the deadlock the deployment exists to prevent.
+func ChaosSoak(seed int64, withTagger bool) (ChaosSoakResult, error) {
+	sched := chaos.Generate(ChaosSoakConfig(), seed)
+	s := workload.Chaos(workload.Options{}, sched)
+	res := ChaosSoakResult{Seed: seed, Faults: len(sched.Faults)}
+
+	if withTagger {
+		g := s.Clos.Graph
+		var names []string
+		for _, sw := range g.Switches() {
+			names = append(names, g.Node(sw).Name)
+		}
+		fab := chaos.NewFabric(names)
+		fab.Load(sched)
+		// Bring-up through the faulty agents: a schedule can queue more
+		// consecutive failures than one push retries through, so the
+		// operator story is "re-run until verified" — each attempt drains
+		// the persistent faults further.
+		var ctl *controller.Controller
+		var err error
+		for res.DeployAttempts = 1; res.DeployAttempts <= 6; res.DeployAttempts++ {
+			ctl, err = controller.NewClos(s.Clos, 1, controller.WithAgent(fab))
+			if err == nil {
+				break
+			}
+		}
+		if err != nil {
+			return res, fmt.Errorf("tagger: chaos bring-up never converged: %w", err)
+		}
+		res.DeployCounters = ctl.Counters()
+		// The simulation runs exactly the fabric's ACTIVE state, not the
+		// controller's intent — verified identical first.
+		live := fab.ActiveBundle(ctl.Bundle().MaxTag)
+		res.FabricVerified = len(deploy.Diff(live, ctl.Bundle())) == 0
+		if !res.FabricVerified {
+			return res, fmt.Errorf("tagger: fabric active state diverges from verified bundle")
+		}
+		rs, err := deploy.Import(g, live)
+		if err != nil {
+			return res, err
+		}
+		s.Net.InstallTagger(rs)
+	}
+
+	wd := s.Net.StartWatchdog(500 * time.Microsecond)
+	s.Run()
+	res.Watchdog = *wd
+	res.Deadlocked = wd.DeadlockSamples > 0
+	res.FirstDeadlock = wd.FirstDeadlock
+	res.Drops = s.Net.Drops()
+	return res, nil
 }
 
 // --- §7 compression ablation -------------------------------------------------------------

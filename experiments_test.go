@@ -84,11 +84,11 @@ func TestControllerFacade(t *testing.T) {
 		t.Fatal(err)
 	}
 	g := clos.Graph
-	if err := ctl.Handle(ControllerEvent{Kind: "link-down",
+	if err := ctl.Handle(ControllerEvent{Kind: EventLinkDown,
 		A: g.MustLookup("L1"), B: g.MustLookup("T1")}); err != nil {
 		t.Fatal(err)
 	}
-	if len(ctl.PushedDiffs) != 0 {
+	if len(ctl.Diffs()) != 0 {
 		t.Error("failure caused rule churn")
 	}
 }

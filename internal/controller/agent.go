@@ -1,0 +1,353 @@
+package controller
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/deploy"
+)
+
+// SwitchAgent is the controller's RPC surface to the rule agents running
+// on the switches. A production deployment backs it with the switch
+// vendor's config channel; tests back it with in-memory fabrics,
+// including the chaos package's unreliable one.
+//
+// The protocol is staged two-phase: Install writes a full SwitchBundle
+// into the switch's STAGED slot (never touching live forwarding), Fetch
+// reads the staged slot back for verification, and Activate atomically
+// promotes STAGED to ACTIVE. All three calls are idempotent, so the
+// controller can blindly re-issue one after a lost reply.
+//
+// Every call may fail: agents are unreliable by assumption (timeouts,
+// reboots, partial writes). Errors carry no retryability contract — the
+// controller retries everything with capped backoff and gives up after
+// MaxAttempts.
+type SwitchAgent interface {
+	// Install stages b on the named switch, replacing any prior staged
+	// bundle wholesale.
+	Install(sw string, b deploy.SwitchBundle) error
+	// Fetch returns the currently staged bundle for readback verification.
+	Fetch(sw string) (deploy.SwitchBundle, error)
+	// Activate promotes the staged bundle to active atomically.
+	Activate(sw string) error
+}
+
+// loopbackAgent is the default perfectly-reliable in-process agent; it
+// preserves the pre-chaos controller behavior (installs always succeed).
+type loopbackAgent struct {
+	staged map[string]deploy.SwitchBundle
+	active map[string]deploy.SwitchBundle
+}
+
+func newLoopbackAgent() *loopbackAgent {
+	return &loopbackAgent{
+		staged: make(map[string]deploy.SwitchBundle),
+		active: make(map[string]deploy.SwitchBundle),
+	}
+}
+
+func (a *loopbackAgent) Install(sw string, b deploy.SwitchBundle) error {
+	a.staged[sw] = cloneSwitchBundle(b)
+	return nil
+}
+
+func (a *loopbackAgent) Fetch(sw string) (deploy.SwitchBundle, error) {
+	return cloneSwitchBundle(a.staged[sw]), nil
+}
+
+func (a *loopbackAgent) Activate(sw string) error {
+	a.active[sw] = cloneSwitchBundle(a.staged[sw])
+	return nil
+}
+
+// cloneSwitchBundle deep-copies a bundle so agent state cannot alias the
+// controller's.
+func cloneSwitchBundle(b deploy.SwitchBundle) deploy.SwitchBundle {
+	return deploy.SwitchBundle{Rules: append([]deploy.RuleJSON(nil), b.Rules...)}
+}
+
+// DeployConfig tunes the fault-tolerant push pipeline.
+type DeployConfig struct {
+	// MaxAttempts bounds tries per RPC phase per switch (minimum 1).
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry; each further retry
+	// doubles it, capped at MaxBackoff.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth.
+	MaxBackoff time.Duration
+	// JitterSeed seeds the deterministic +/-25% backoff jitter, so a fixed
+	// seed reproduces the exact retry timeline.
+	JitterSeed int64
+	// Sleep, when non-nil, is called with each backoff delay (production
+	// sets time.Sleep). Nil keeps the pipeline virtual-time only: delays
+	// are computed, logged and audited but not slept, which is what the
+	// deterministic tests and the simulator want.
+	Sleep func(time.Duration)
+}
+
+// DefaultDeployConfig returns the pipeline parameters used by the
+// examples and the chaos soak: up to 6 tries per RPC, 10ms..1s backoff.
+func DefaultDeployConfig() DeployConfig {
+	return DeployConfig{
+		MaxAttempts: 6,
+		BaseBackoff: 10 * time.Millisecond,
+		MaxBackoff:  time.Second,
+		JitterSeed:  1,
+	}
+}
+
+// Deployment phase names, used in audit entries and metrics counters.
+const (
+	OpInstall  = "install"
+	OpVerify   = "verify"
+	OpActivate = "activate"
+	OpRollback = "rollback"
+)
+
+// AuditEntry records one RPC attempt of the deployment pipeline. The
+// sequence of entries for a fixed JitterSeed and fault schedule is
+// byte-for-byte deterministic.
+type AuditEntry struct {
+	// Seq is the global attempt index within this controller.
+	Seq int
+	// Switch names the target switch.
+	Switch string
+	// Op is one of OpInstall, OpVerify, OpActivate, OpRollback ("rollback"
+	// entries are re-activations of the previous verified bundle).
+	Op string
+	// Attempt counts tries of this op on this switch within one push,
+	// starting at 1.
+	Attempt int
+	// Err is the failure ("" on success).
+	Err string
+	// Backoff is the delay scheduled before the next attempt (zero when
+	// the attempt succeeded or the pipeline gave up).
+	Backoff time.Duration
+}
+
+// String renders one audit line.
+func (e AuditEntry) String() string {
+	out := fmt.Sprintf("#%d %s %s attempt %d", e.Seq, e.Switch, e.Op, e.Attempt)
+	if e.Err == "" {
+		return out + ": ok"
+	}
+	out += ": " + e.Err
+	if e.Backoff > 0 {
+		out += fmt.Sprintf(" (retry in %v)", e.Backoff)
+	}
+	return out
+}
+
+// backoffFor returns the capped exponential delay before retrying after
+// the attempt-th failure (attempt >= 1), with seeded +/-25% jitter.
+func (c *Controller) backoffFor(attempt int) time.Duration {
+	d := c.deployCfg.BaseBackoff
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if c.deployCfg.MaxBackoff > 0 && d >= c.deployCfg.MaxBackoff {
+			d = c.deployCfg.MaxBackoff
+			break
+		}
+	}
+	if c.deployCfg.MaxBackoff > 0 && d > c.deployCfg.MaxBackoff {
+		d = c.deployCfg.MaxBackoff
+	}
+	// Deterministic jitter in [0.75, 1.25).
+	j := 0.75 + 0.5*c.jitter.Float64()
+	return time.Duration(float64(d) * j)
+}
+
+// audit appends one entry (under c.mu) and bumps the matching counters.
+func (c *Controller) auditRecord(sw, op string, attempt int, err error, backoff time.Duration) {
+	e := AuditEntry{Seq: c.auditSeq, Switch: sw, Op: op, Attempt: attempt, Backoff: backoff}
+	c.auditSeq++
+	if err != nil {
+		e.Err = err.Error()
+		c.counters.Add("deploy."+op+".fail", 1)
+	} else {
+		c.counters.Add("deploy."+op+".ok", 1)
+	}
+	c.auditLog = append(c.auditLog, e)
+}
+
+// attempt runs fn up to MaxAttempts times with backoff between failures,
+// auditing every try under the given op name. It returns the last error
+// when every attempt failed.
+func (c *Controller) attempt(sw, op string, fn func() error) error {
+	max := c.deployCfg.MaxAttempts
+	if max < 1 {
+		max = 1
+	}
+	var err error
+	for try := 1; try <= max; try++ {
+		err = fn()
+		if err == nil {
+			c.auditRecord(sw, op, try, nil, 0)
+			return nil
+		}
+		var backoff time.Duration
+		if try < max {
+			backoff = c.backoffFor(try)
+			c.counters.Add("deploy.backoff_ns", int64(backoff))
+			if c.deployCfg.Sleep != nil {
+				c.deployCfg.Sleep(backoff)
+			}
+		}
+		c.auditRecord(sw, op, try, err, backoff)
+	}
+	c.counters.Add("deploy.gave_up", 1)
+	return fmt.Errorf("controller: %s on %s failed after %d attempts: %w", op, sw, max, err)
+}
+
+// installVerify pushes one switch's bundle and confirms the staged
+// readback matches. Each attempt is one install+verify round; any failure
+// — a lost RPC, a partial install caught by the readback mismatch —
+// triggers an idempotent re-push of the whole SwitchBundle after backoff.
+func (c *Controller) installVerify(sw string, want deploy.SwitchBundle) error {
+	max := c.deployCfg.MaxAttempts
+	if max < 1 {
+		max = 1
+	}
+	var err error
+	for try := 1; try <= max; try++ {
+		op := OpInstall
+		err = c.agent.Install(sw, want)
+		if err == nil {
+			c.auditRecord(sw, OpInstall, try, nil, 0)
+			op = OpVerify
+			var got deploy.SwitchBundle
+			got, err = c.agent.Fetch(sw)
+			if err == nil && !sameRules(got.Rules, want.Rules) {
+				err = fmt.Errorf("staged bundle mismatch: %d/%d rules landed", len(got.Rules), len(want.Rules))
+				c.counters.Add("deploy.partial_detected", 1)
+			}
+			if err == nil {
+				c.auditRecord(sw, OpVerify, try, nil, 0)
+				return nil
+			}
+		}
+		var backoff time.Duration
+		if try < max {
+			backoff = c.backoffFor(try)
+			c.counters.Add("deploy.backoff_ns", int64(backoff))
+			if c.deployCfg.Sleep != nil {
+				c.deployCfg.Sleep(backoff)
+			}
+		}
+		c.auditRecord(sw, op, try, err, backoff)
+	}
+	c.counters.Add("deploy.gave_up", 1)
+	return fmt.Errorf("controller: install on %s failed after %d attempts: %w", sw, max, err)
+}
+
+// sameRules compares rule lists order-insensitively (agents may reorder).
+func sameRules(a, b []deploy.RuleJSON) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	key := func(r deploy.RuleJSON) string {
+		return fmt.Sprintf("%d/%d/%d>%d", r.Tag, r.In, r.Out, r.NewTag)
+	}
+	set := make(map[string]int, len(a))
+	for _, r := range a {
+		set[key(r)]++
+	}
+	for _, r := range b {
+		set[key(r)]--
+		if set[key(r)] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// pushBundle deploys newBundle to the fabric with two-phase semantics:
+//
+//	phase 1: install + verify the staged bundle on every switch that
+//	         needs changes (the live rules are untouched);
+//	phase 2: activate switch by switch; if any activation exhausts its
+//	         retries, re-install and re-activate the PREVIOUS verified
+//	         bundle on every switch already flipped (rollback), so the
+//	         fabric never keeps running a half-deployed rule set.
+//
+// Switches whose bundle is unchanged are skipped entirely — expansion
+// stays incremental — unless forceAll re-pushes everything (Redeploy
+// after a switch reboot). Called with c.mu held.
+func (c *Controller) pushBundle(newBundle *deploy.Bundle, forceAll bool) error {
+	changed := c.changedSwitches(newBundle, forceAll)
+	c.counters.Add("deploy.pushes", 1)
+
+	// Phase 1: stage everywhere. Failure here aborts with the active
+	// fabric untouched (staged slots are inert).
+	for _, sw := range changed {
+		if err := c.installVerify(sw, newBundle.Switches[sw]); err != nil {
+			c.counters.Add("deploy.aborted_staging", 1)
+			return err
+		}
+	}
+
+	// Phase 2: flip. Track what flipped so we can roll back.
+	var activated []string
+	for _, sw := range changed {
+		if err := c.attempt(sw, OpActivate, func() error {
+			return c.agent.Activate(sw)
+		}); err != nil {
+			c.rollback(activated)
+			return fmt.Errorf("controller: rolled back to previous bundle: %w", err)
+		}
+		activated = append(activated, sw)
+	}
+	return nil
+}
+
+// rollback re-stages and re-activates the previous verified bundle on the
+// given switches. Rollback RPCs get the same retry/backoff treatment; a
+// switch that refuses even the rollback is recorded (counter
+// deploy.rollback.stuck) — operators must intervene, exactly as in a real
+// fabric.
+func (c *Controller) rollback(switches []string) {
+	c.counters.Add("deploy.rollbacks", 1)
+	prev := &deploy.Bundle{Switches: map[string]deploy.SwitchBundle{}}
+	if c.bundle != nil {
+		prev = c.bundle
+	}
+	for _, sw := range switches {
+		if err := c.installVerify(sw, prev.Switches[sw]); err != nil {
+			c.counters.Add("deploy.rollback.stuck", 1)
+			continue
+		}
+		if err := c.attempt(sw, OpRollback, func() error {
+			return c.agent.Activate(sw)
+		}); err != nil {
+			c.counters.Add("deploy.rollback.stuck", 1)
+		}
+	}
+}
+
+// changedSwitches returns, in deterministic order, the switches whose
+// bundle differs from the currently deployed one (every switch on the
+// first push or when forced).
+func (c *Controller) changedSwitches(newBundle *deploy.Bundle, forceAll bool) []string {
+	var names []string
+	if c.bundle == nil || forceAll {
+		for sw := range newBundle.Switches {
+			names = append(names, sw)
+		}
+	} else {
+		for sw := range deploy.Diff(c.bundle, newBundle) {
+			names = append(names, sw)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// newJitter builds the seeded jitter source.
+func newJitter(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -9,15 +9,25 @@
 //     controller's failure handler is a no-op on the rule plane;
 //   - topology expansion produces an incremental bundle: only the new
 //     switches (plus spine entries for their new ports) receive updates.
+//
+// Rule pushes go through a fault-tolerant pipeline (agent.go): per-switch
+// install RPCs against a SwitchAgent, verify-then-activate two-phase
+// semantics, capped exponential backoff with seeded jitter, and rollback
+// to the previous verified bundle when activation cannot complete — so an
+// unreliable fabric never keeps running a half-installed rule set. Every
+// attempt is recorded in a structured audit log and exported as metrics
+// counters.
 package controller
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 
 	"repro/internal/core"
 	"repro/internal/deploy"
 	"repro/internal/elp"
+	"repro/internal/metrics"
 	"repro/internal/topology"
 )
 
@@ -35,10 +45,57 @@ func KBouncePolicy(endpoints func() []topology.NodeID, k int) ELPPolicy {
 	}
 }
 
+// EventKind is the type of a topology event. The zero value is invalid,
+// so an Event built without a kind is rejected at Handle time, and a
+// misspelled kind is a compile error rather than a runtime surprise.
+type EventKind int
+
+const (
+	// EventInvalid is the zero value; Handle rejects it.
+	EventInvalid EventKind = iota
+	// EventLinkDown reports a failed link (rule plane: no-op).
+	EventLinkDown
+	// EventLinkUp reports a recovered link (rule plane: no-op).
+	EventLinkUp
+	// EventExpansion reports that the topology grew; the controller
+	// re-evaluates the policy and pushes the incremental bundle.
+	EventExpansion
+)
+
+// String renders the kind using the wire names ("link-down", "link-up",
+// "expansion").
+func (k EventKind) String() string {
+	switch k {
+	case EventLinkDown:
+		return "link-down"
+	case EventLinkUp:
+		return "link-up"
+	case EventExpansion:
+		return "expansion"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// ParseEventKind maps a wire name to its kind. Decoded inputs (JSON
+// feeds, CLIs) come through here, keeping the unknown-kind runtime error
+// path that typed in-process events no longer need.
+func ParseEventKind(s string) (EventKind, error) {
+	switch s {
+	case "link-down":
+		return EventLinkDown, nil
+	case "link-up":
+		return EventLinkUp, nil
+	case "expansion":
+		return EventExpansion, nil
+	default:
+		return EventInvalid, fmt.Errorf("controller: unknown event kind %q", s)
+	}
+}
+
 // Event is a topology event delivered to the controller.
 type Event struct {
-	// Kind is "link-down", "link-up" or "expansion".
-	Kind string
+	Kind EventKind
 	// A, B name the link endpoints for link events.
 	A, B topology.NodeID
 }
@@ -53,46 +110,77 @@ type Controller struct {
 	synth func(g *topology.Graph, paths *elp.Set) (*core.System, error)
 
 	current *core.System
-	bundle  *deploy.Bundle
+	bundle  *deploy.Bundle // last fully verified-and-activated bundle
 
-	// PushedDiffs records every incremental update the controller
-	// emitted, for tests and audit.
-	PushedDiffs []map[string]deploy.SwitchDiff
-	// FailureEvents counts failure notifications handled (with zero rule
-	// churn, which TestFailuresAreRuleNoOps asserts).
-	FailureEvents int
+	agent     SwitchAgent
+	deployCfg DeployConfig
+	jitter    *rand.Rand
+
+	// pushedDiffs records every incremental update the controller
+	// emitted; failureEvents counts failure notifications handled (with
+	// zero rule churn). Both live under mu — use Diffs()/FailureCount().
+	pushedDiffs   []map[string]deploy.SwitchDiff
+	failureEvents int
+
+	auditLog []AuditEntry
+	auditSeq int
+	counters *metrics.Counters
+}
+
+// Option customizes a controller at construction time.
+type Option func(*Controller)
+
+// WithAgent points the controller's install RPCs at the given switch
+// agent (default: a perfectly reliable in-process loopback).
+func WithAgent(a SwitchAgent) Option {
+	return func(c *Controller) { c.agent = a }
+}
+
+// WithDeployConfig overrides the retry/backoff parameters.
+func WithDeployConfig(cfg DeployConfig) Option {
+	return func(c *Controller) {
+		c.deployCfg = cfg
+		c.jitter = newJitter(cfg.JitterSeed)
+	}
+}
+
+func newController(g *topology.Graph, policy ELPPolicy,
+	synth func(*topology.Graph, *elp.Set) (*core.System, error), opts []Option) (*Controller, error) {
+	ctl := &Controller{
+		g:         g,
+		policy:    policy,
+		synth:     synth,
+		agent:     newLoopbackAgent(),
+		deployCfg: DefaultDeployConfig(),
+		counters:  metrics.NewCounters(),
+	}
+	ctl.jitter = newJitter(ctl.deployCfg.JitterSeed)
+	for _, o := range opts {
+		o(ctl)
+	}
+	if err := ctl.resync(); err != nil {
+		return nil, err
+	}
+	return ctl, nil
 }
 
 // NewClos builds a controller deploying the optimal Clos scheme with the
 // given bounce budget.
-func NewClos(c *topology.Clos, k int) (*Controller, error) {
-	ctl := &Controller{
-		g:      c.Graph,
-		policy: KBouncePolicy(func() []topology.NodeID { return c.ToRs }, k),
-		synth: func(g *topology.Graph, s *elp.Set) (*core.System, error) {
+func NewClos(c *topology.Clos, k int, opts ...Option) (*Controller, error) {
+	return newController(c.Graph,
+		KBouncePolicy(func() []topology.NodeID { return c.ToRs }, k),
+		func(g *topology.Graph, s *elp.Set) (*core.System, error) {
 			return core.ClosSynthesize(g, s.Paths(), k)
-		},
-	}
-	if err := ctl.resync(); err != nil {
-		return nil, err
-	}
-	return ctl, nil
+		}, opts)
 }
 
 // NewGeneric builds a controller running Algorithms 1+2 under the given
 // policy.
-func NewGeneric(g *topology.Graph, policy ELPPolicy) (*Controller, error) {
-	ctl := &Controller{
-		g:      g,
-		policy: policy,
-		synth: func(g *topology.Graph, s *elp.Set) (*core.System, error) {
+func NewGeneric(g *topology.Graph, policy ELPPolicy, opts ...Option) (*Controller, error) {
+	return newController(g, policy,
+		func(g *topology.Graph, s *elp.Set) (*core.System, error) {
 			return core.Synthesize(g, s.Paths(), core.Options{})
-		},
-	}
-	if err := ctl.resync(); err != nil {
-		return nil, err
-	}
-	return ctl, nil
+		}, opts)
 }
 
 // System returns the currently deployed system.
@@ -109,8 +197,42 @@ func (c *Controller) Bundle() *deploy.Bundle {
 	return c.bundle
 }
 
-// resync recomputes the system and records the diff against the previous
-// deployment.
+// Diffs returns a copy of every incremental update the controller has
+// pushed, for tests and audit.
+func (c *Controller) Diffs() []map[string]deploy.SwitchDiff {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]map[string]deploy.SwitchDiff(nil), c.pushedDiffs...)
+}
+
+// FailureCount returns the number of failure notifications handled (each
+// with zero rule churn, which TestFailuresAreRuleNoOps asserts).
+func (c *Controller) FailureCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.failureEvents
+}
+
+// Audit returns a copy of the deployment audit log: one entry per RPC
+// attempt, in order.
+func (c *Controller) Audit() []AuditEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]AuditEntry(nil), c.auditLog...)
+}
+
+// Counters returns a snapshot of the deployment metrics (attempts,
+// failures, rollbacks, backoff time).
+func (c *Controller) Counters() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counters.Snapshot()
+}
+
+// resync recomputes the system, pushes it through the fault-tolerant
+// pipeline, and records the diff against the previous deployment. On
+// push failure the previous deployment stays current (and stays active
+// on the fabric — pushBundle rolled it back).
 func (c *Controller) resync() error {
 	set := c.policy(c.g)
 	sys, err := c.synth(c.g, set)
@@ -121,13 +243,29 @@ func (c *Controller) resync() error {
 		return fmt.Errorf("controller: refusing to deploy unverified rules: %w", err)
 	}
 	newBundle := deploy.Export(sys.Rules)
+	if err := c.pushBundle(newBundle, false); err != nil {
+		return err
+	}
 	if c.bundle != nil {
 		if d := deploy.Diff(c.bundle, newBundle); len(d) > 0 {
-			c.PushedDiffs = append(c.PushedDiffs, d)
+			c.pushedDiffs = append(c.pushedDiffs, d)
 		}
 	}
 	c.current, c.bundle = sys, newBundle
 	return nil
+}
+
+// Redeploy force-pushes the full current bundle to every switch — the
+// recovery action after a switch reboot wiped its agent state. Installs
+// are idempotent, so re-pushing switches that kept their rules is
+// harmless.
+func (c *Controller) Redeploy() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.bundle == nil {
+		return fmt.Errorf("controller: nothing deployed yet")
+	}
+	return c.pushBundle(c.bundle, true)
 }
 
 // Handle processes one topology event.
@@ -140,15 +278,15 @@ func (c *Controller) Handle(ev Event) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	switch ev.Kind {
-	case "link-down":
-		c.FailureEvents++
+	case EventLinkDown:
+		c.failureEvents++
 		c.g.FailLink(ev.A, ev.B)
 		return nil
-	case "link-up":
-		c.FailureEvents++
+	case EventLinkUp:
+		c.failureEvents++
 		c.g.RestoreLink(ev.A, ev.B)
 		return nil
-	case "expansion":
+	case EventExpansion:
 		return c.resync()
 	default:
 		return fmt.Errorf("controller: unknown event kind %q", ev.Kind)

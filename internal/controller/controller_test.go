@@ -33,20 +33,20 @@ func TestFailuresAreRuleNoOps(t *testing.T) {
 	}
 	g := c.Graph
 	events := []Event{
-		{Kind: "link-down", A: g.MustLookup("L1"), B: g.MustLookup("T1")},
-		{Kind: "link-down", A: g.MustLookup("L3"), B: g.MustLookup("T4")},
-		{Kind: "link-up", A: g.MustLookup("L1"), B: g.MustLookup("T1")},
+		{Kind: EventLinkDown, A: g.MustLookup("L1"), B: g.MustLookup("T1")},
+		{Kind: EventLinkDown, A: g.MustLookup("L3"), B: g.MustLookup("T4")},
+		{Kind: EventLinkUp, A: g.MustLookup("L1"), B: g.MustLookup("T1")},
 	}
 	for _, ev := range events {
 		if err := ctl.Handle(ev); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if ctl.FailureEvents != 3 {
-		t.Errorf("FailureEvents = %d", ctl.FailureEvents)
+	if ctl.FailureCount() != 3 {
+		t.Errorf("FailureCount = %d", ctl.FailureCount())
 	}
-	if len(ctl.PushedDiffs) != 0 {
-		t.Fatalf("failures pushed %d rule diffs; Tagger rules must be static", len(ctl.PushedDiffs))
+	if len(ctl.Diffs()) != 0 {
+		t.Fatalf("failures pushed %d rule diffs; Tagger rules must be static", len(ctl.Diffs()))
 	}
 }
 
@@ -71,13 +71,13 @@ func TestExpansionPushesIncrementalBundle(t *testing.T) {
 	if err := c.Expand(1); err != nil {
 		t.Fatal(err)
 	}
-	if err := ctl.Handle(Event{Kind: "expansion"}); err != nil {
+	if err := ctl.Handle(Event{Kind: EventExpansion}); err != nil {
 		t.Fatal(err)
 	}
-	if len(ctl.PushedDiffs) != 1 {
-		t.Fatalf("diffs pushed = %d, want 1", len(ctl.PushedDiffs))
+	if len(ctl.Diffs()) != 1 {
+		t.Fatalf("diffs pushed = %d, want 1", len(ctl.Diffs()))
 	}
-	for name := range ctl.PushedDiffs[0] {
+	for name := range ctl.Diffs()[0] {
 		if oldSwitches[name] && !spines[name] {
 			t.Errorf("expansion touched old non-spine switch %s", name)
 		}
@@ -94,8 +94,22 @@ func TestUnknownEvent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ctl.Handle(Event{Kind: "meteor"}); err == nil {
-		t.Fatal("unknown event accepted")
+	// "meteor" is no longer expressible at compile time; the runtime
+	// error path survives for zero-valued and decoded-but-invalid kinds.
+	if err := ctl.Handle(Event{}); err == nil {
+		t.Fatal("zero-kind event accepted")
+	}
+	if _, err := ParseEventKind("meteor"); err == nil {
+		t.Fatal("unknown wire kind accepted")
+	}
+	for _, name := range []string{"link-down", "link-up", "expansion"} {
+		k, err := ParseEventKind(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k.String() != name {
+			t.Errorf("round trip %q -> %v", name, k)
+		}
 	}
 }
 
@@ -116,10 +130,10 @@ func TestGenericController(t *testing.T) {
 	}
 	// Failure: no rule churn, same as Clos.
 	a, b := j.Switches[0], j.Switches[1]
-	if err := ctl.Handle(Event{Kind: "link-down", A: a, B: b}); err != nil {
+	if err := ctl.Handle(Event{Kind: EventLinkDown, A: a, B: b}); err != nil {
 		t.Fatal(err)
 	}
-	if len(ctl.PushedDiffs) != 0 {
+	if len(ctl.Diffs()) != 0 {
 		t.Fatal("generic controller pushed diffs on failure")
 	}
 }

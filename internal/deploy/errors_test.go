@@ -1,0 +1,105 @@
+package deploy
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestUnmarshalTruncated: a bundle cut off mid-transfer must be rejected
+// at every truncation point, never half-parsed into a partial rule set.
+func TestUnmarshalTruncated(t *testing.T) {
+	_, rs := testRules(t)
+	data, err := Export(rs).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{1, len(data) / 4, len(data) / 2, len(data) - 1} {
+		if _, err := Unmarshal(data[:cut]); err == nil {
+			t.Errorf("truncation at %d/%d bytes accepted", cut, len(data))
+		}
+	}
+}
+
+// TestUnmarshalCorrupt: structurally valid JSON with the wrong shapes is
+// rejected rather than silently zeroed.
+func TestUnmarshalCorrupt(t *testing.T) {
+	cases := []string{
+		`{"maxTag": "two", "switches": {}}`,
+		`{"maxTag": 2, "switches": {"T1": {"rules": [{"tag": "x"}]}}}`,
+		`{"maxTag": 2, "switches": [1, 2]}`,
+		`[]`,
+	}
+	for _, c := range cases {
+		if _, err := Unmarshal([]byte(c)); err == nil {
+			t.Errorf("corrupt bundle accepted: %s", c)
+		}
+	}
+}
+
+// TestImportTruncatedBundle drives the full decode path an operator
+// hits: corrupt bytes never reach the fabric as a ruleset.
+func TestImportTruncatedBundle(t *testing.T) {
+	c, rs := testRules(t)
+	data, err := Export(rs).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Unmarshal(data[:len(data)/2])
+	if err == nil {
+		if _, err := Import(c.Graph, b); err == nil {
+			t.Fatal("truncated bundle imported successfully")
+		}
+	}
+}
+
+// TestDiffForeignSwitches: a switch present on only one side diffs as
+// all-added or all-removed — Diff never drops it on the floor, so a
+// controller pushing the diff cannot miss a decommissioned or new
+// switch.
+func TestDiffForeignSwitches(t *testing.T) {
+	_, rs := testRules(t)
+	oldB, newB := Export(rs), Export(rs)
+	rules := []RuleJSON{{Tag: 1, In: 0, Out: 1, NewTag: 2}, {Tag: 2, In: 1, Out: 0, NewTag: 2}}
+	newB.Switches["NEW99"] = SwitchBundle{Rules: rules}
+	oldB.Switches["GONE7"] = SwitchBundle{Rules: rules[:1]}
+
+	d := Diff(oldB, newB)
+	if got := d["NEW99"]; len(got.Added) != 2 || len(got.Removed) != 0 {
+		t.Errorf("new switch diff = %+v", got)
+	}
+	if got := d["GONE7"]; len(got.Added) != 0 || len(got.Removed) != 1 {
+		t.Errorf("removed switch diff = %+v", got)
+	}
+	for name, sd := range d {
+		if name != "NEW99" && name != "GONE7" {
+			t.Errorf("identical switch %s produced diff %+v", name, sd)
+		}
+	}
+}
+
+// TestExportImportExportByteIdentical is the round-trip property the
+// version-control story relies on: re-exporting an imported bundle
+// reproduces the exact bytes, so a bundle checked into git never churns
+// from a pull-modify-push cycle that changed nothing.
+func TestExportImportExportByteIdentical(t *testing.T) {
+	c, rs := testRules(t)
+	first, err := Export(rs).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Unmarshal(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs2, err := Import(c.Graph, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Export(rs2).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("Export -> Import -> Export is not byte-identical")
+	}
+}

@@ -6,6 +6,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 )
 
@@ -70,6 +71,56 @@ func (t *Table) String() string {
 		writeRow(r)
 	}
 	return b.String()
+}
+
+// Counters is a named-counter set with deterministic rendering, the
+// export surface for operational subsystems (the controller's deployment
+// pipeline, the chaos harness). It is not safe for concurrent use; owners
+// serialize access under their own lock.
+type Counters struct {
+	vals map[string]int64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{vals: make(map[string]int64)}
+}
+
+// Add increments the named counter by delta (creating it at zero).
+func (c *Counters) Add(name string, delta int64) {
+	c.vals[name] += delta
+}
+
+// Get returns the named counter (zero if never incremented).
+func (c *Counters) Get(name string) int64 { return c.vals[name] }
+
+// Names returns every counter name in sorted order.
+func (c *Counters) Names() []string {
+	names := make([]string, 0, len(c.vals))
+	for n := range c.vals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot returns a copy of the counter map, decoupled from the live set.
+func (c *Counters) Snapshot() map[string]int64 {
+	out := make(map[string]int64, len(c.vals))
+	for k, v := range c.vals {
+		out[k] = v
+	}
+	return out
+}
+
+// String renders the counters as an aligned two-column table, names
+// sorted, so output is stable across runs.
+func (c *Counters) String() string {
+	t := NewTable("counter", "value")
+	for _, n := range c.Names() {
+		t.AddRow(n, c.vals[n])
+	}
+	return t.String()
 }
 
 // Sparkline renders a series of non-negative values as a compact unicode

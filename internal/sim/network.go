@@ -97,11 +97,15 @@ type DropStats struct {
 	// Xoff+headroom — zero whenever thresholds are configured correctly;
 	// the simulator drops them like a real switch would.
 	HeadroomViolation int64
+	// SwitchReboot counts packets lost to a power-cycled switch. Kept
+	// separate from HeadroomViolation: reboot losses are expected under
+	// chaos and must not trip the lossless-drop invariant.
+	SwitchReboot int64
 }
 
 // Total returns all drops.
 func (d DropStats) Total() int64 {
-	return d.TTLExpired + d.NoRoute + d.LossyOverflow + d.HeadroomViolation
+	return d.TTLExpired + d.NoRoute + d.LossyOverflow + d.HeadroomViolation + d.SwitchReboot
 }
 
 // Network is one simulation instance.
@@ -529,6 +533,58 @@ func ecmpPick(flowHash, salt uint64, m int) int {
 	x *= 0xff51afd7ed558ccd
 	x ^= x >> 33
 	return int(x % uint64(m))
+}
+
+// RebootSwitch models a power-cycle of one switch: every queued packet
+// is lost (counted under DropStats.SwitchReboot, not against the
+// lossless-drop invariant), ingress accounting and the shared buffer
+// reset, and every PAUSE this switch had asserted upstream is cleared
+// with a RESUME — a rebooted switch no longer remembers asserting it,
+// and without the RESUME the upstream port would stall forever. Pause
+// state imposed BY downstream peers is kept: that claim lives at the
+// peer, which will RESUME on its own once it drains. A frame already
+// being serialized stays on the wire; its ingress accounting is
+// neutralized so its eventual release is a no-op. Returns the number of
+// packets lost. The reboot itself is instantaneous: rule state is
+// handled above the simulator (the controller re-pushes the static
+// bundle, see internal/controller.Redeploy).
+func (n *Network) RebootSwitch(id topology.NodeID) int64 {
+	rt := n.rt(id)
+	if rt.isHost {
+		panic("sim: RebootSwitch on a host")
+	}
+	var lost int64
+	for pi := range rt.ports {
+		prt := &rt.ports[pi]
+		for q := range prt.egress {
+			for !prt.egress[q].empty() {
+				pk := prt.egress[q].pop()
+				lost++
+				n.drops.SwitchReboot++
+				n.trace(TraceEvent{Kind: "drop", Node: n.nodeName(id),
+					Flow: pk.flow.spec.Name, Reason: "reboot"})
+			}
+		}
+		for prio := range prt.inBytes {
+			prt.inBytes[prio] = 0
+			if prt.pausedUpstream[prio] {
+				prt.pausedUpstream[prio] = false
+				n.sendPFC(rt, pi, prio, false)
+			}
+		}
+	}
+	rt.bufferUsed = 0
+	for pi := range rt.ports {
+		prt := &rt.ports[pi]
+		if prt.txBusy {
+			// releaseIngress decrements bufferUsed unconditionally and then
+			// skips ports < 0: pre-charge the in-flight frame so its release
+			// nets to zero against the fresh counters.
+			prt.txPkt.inPort = -1
+			rt.bufferUsed += int64(prt.txPkt.size)
+		}
+	}
+	return lost
 }
 
 // MaxIngressObserved returns the fabric-wide high-water mark of lossless

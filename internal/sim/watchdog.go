@@ -1,0 +1,56 @@
+package sim
+
+import "time"
+
+// WatchdogStats is the tally of a continuous deadlock watchdog — the
+// chaos-soak verdict. Unlike EnableRecovery it never intervenes; it only
+// observes, so a run with Tagger installed can prove the negative
+// ("nothing to detect, ever") while the same schedule without Tagger
+// shows the pause-wait cycle forming.
+type WatchdogStats struct {
+	// Samples counts watchdog ticks taken.
+	Samples int
+	// DeadlockSamples counts ticks that observed a live pause-wait cycle.
+	DeadlockSamples int
+	// FirstDeadlock is the first observed cycle (nil if never).
+	FirstDeadlock []string
+	// FirstDeadlockAt is the sample time of that observation (-1 if never).
+	FirstDeadlockAt time.Duration
+	// LosslessDrops is the HeadroomViolation counter at the last sample —
+	// the invariant that must stay zero under a correct configuration.
+	LosslessDrops int64
+	// RebootDrops is the SwitchReboot counter at the last sample: losses
+	// that are expected under chaos and excluded from the invariant.
+	RebootDrops int64
+}
+
+// Clean reports the soak invariant: no deadlock ever observed and no
+// lossless drops beyond those a reboot inherently causes.
+func (w *WatchdogStats) Clean() bool {
+	return w.DeadlockSamples == 0 && w.LosslessDrops == 0
+}
+
+// StartWatchdog installs a continuous deadlock watchdog: every interval
+// it samples DetectDeadlock and the drop counters into the returned
+// stats, which update in place as the run progresses. Sampling rides the
+// same evCall mechanism as scenario callbacks, so it is deterministic
+// with respect to the packet events it interleaves with.
+func (n *Network) StartWatchdog(interval time.Duration) *WatchdogStats {
+	stats := &WatchdogStats{FirstDeadlockAt: -1}
+	var tick func()
+	tick = func() {
+		stats.Samples++
+		if cyc := n.DetectDeadlock(); cyc != nil {
+			stats.DeadlockSamples++
+			if stats.FirstDeadlock == nil {
+				stats.FirstDeadlock = cyc
+				stats.FirstDeadlockAt = time.Duration(n.now)
+			}
+		}
+		stats.LosslessDrops = n.drops.HeadroomViolation
+		stats.RebootDrops = n.drops.SwitchReboot
+		n.schedule(event{at: n.now + int64(interval), kind: evCall, fn: tick})
+	}
+	n.schedule(event{at: n.now + int64(interval), kind: evCall, fn: tick})
+	return stats
+}

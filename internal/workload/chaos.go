@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Chaos builds a schedule-driven soak scenario: the Reconvergence
+// cross-pod traffic matrix runs while a seeded chaos.Schedule injects
+// link flaps and switch reboots into the fabric. Failures are handled
+// the way §3.1/§3.2 describe production networks handling them —
+// asynchronously: the leaf adjacent to a dead leaf-ToR link installs a
+// local detour up to a spine immediately (creating 1-bounce paths),
+// while the rest of the fabric keeps stale routes until a link recovery
+// triggers global reconvergence. Concurrent flaps in both pods therefore
+// recreate the Figure 3 CBD organically; without Tagger the soak
+// deadlocks, with Tagger the bounces ride the second lossless class.
+//
+// Reboots power-cycle the switch mid-traffic (sim.RebootSwitch): queue
+// and PFC state is lost and the dropped packets are counted under
+// DropStats.SwitchReboot, outside the lossless-drop invariant. Rule
+// state is static and re-pushed by the controller out of band, modeled
+// as instantaneous relative to fabric time.
+//
+// Determinism: the schedule is data, the wiring below is mechanical, and
+// the simulator is deterministic — same schedule, same verdict.
+func Chaos(opt Options, sched chaos.Schedule) *Scenario {
+	s := newScenario(opt, sched.Duration+10*time.Millisecond)
+	g := s.Clos.Graph
+	n := func(name string) topology.NodeID { return g.MustLookup(name) }
+
+	// The Reconvergence traffic matrix: cross-pod pairs in both
+	// directions so detours in either pod carry load.
+	pairs := [][2]string{
+		{"H9", "H1"}, {"H2", "H13"}, {"H10", "H3"}, {"H4", "H14"},
+		{"H11", "H2"}, {"H1", "H15"}, {"H12", "H4"}, {"H3", "H16"},
+	}
+	for i, p := range pairs {
+		s.addFlow(sim.FlowSpec{
+			Name:  p[0] + ">" + p[1],
+			Src:   n(p[0]),
+			Dst:   n(p[1]),
+			Start: time.Duration(i) * 250 * time.Microsecond,
+		})
+	}
+
+	// Hosts under each ToR, for installing detour routes.
+	hostsOf := map[topology.NodeID][]topology.NodeID{}
+	for _, h := range s.Clos.Hosts {
+		tor := g.Neighbors(h, nil)[0]
+		hostsOf[tor] = append(hostsOf[tor], h)
+	}
+
+	for _, f := range sched.Faults {
+		f := f
+		switch f.Kind {
+		case chaos.FaultLinkDown:
+			a, b := n(f.A), n(f.B)
+			leaf, tor := a, b
+			if g.Node(leaf).Kind != topology.KindLeaf {
+				leaf, tor = tor, leaf
+			}
+			if g.Node(leaf).Kind != topology.KindLeaf || g.Node(tor).Kind != topology.KindToR {
+				panic(fmt.Sprintf("workload: chaos flap %s-%s is not a leaf-ToR link", f.A, f.B))
+			}
+			s.Net.At(f.At, func() {
+				if !g.FailLink(leaf, tor) {
+					return
+				}
+				// Local fast-reroute: the leaf sends ToR-bound traffic back
+				// up to its first healthy spine (a 1-bounce path); the rest
+				// of the fabric has not converged yet.
+				var spine topology.NodeID = -1
+				for _, nb := range g.Neighbors(leaf, nil) {
+					if g.Node(nb).Kind == topology.KindSpine {
+						spine = nb
+						break
+					}
+				}
+				if spine < 0 {
+					return // leaf fully cut off from the spine layer
+				}
+				for _, h := range hostsOf[tor] {
+					s.Tables.OverrideNextNode(leaf, h, spine)
+				}
+			})
+		case chaos.FaultLinkUp:
+			a, b := n(f.A), n(f.B)
+			s.Net.At(f.At, func() {
+				g.RestoreLink(a, b)
+				// A recovery is when routing converges globally: overrides
+				// drop and routes re-form around any links still down.
+				s.Tables.Recompute()
+			})
+		case chaos.FaultSwitchReboot:
+			sw := n(f.Switch)
+			s.Net.At(f.At, func() {
+				s.Net.RebootSwitch(sw)
+			})
+		}
+		// Agent-side faults (RPC/install) are consumed by a chaos.Fabric
+		// during deployment, not by the packet simulation.
+	}
+	return s
+}
+
+// ChaosLinks returns the candidate flap set for the testbed: the
+// cross-pod leaf-ToR pairs of Figure 3, whose concurrent failure forms
+// the CBD.
+func ChaosLinks() [][2]string {
+	return [][2]string{{"L1", "T1"}, {"L3", "T4"}}
+}
+
+// ChaosSwitches returns the candidate reboot/agent-fault targets: the
+// testbed switches not directly implicated in the Figure 3 CBD, so
+// reboots add churn without trivially breaking the deadlock under test.
+func ChaosSwitches() []string {
+	return []string{"L2", "L4", "T2", "T3"}
+}

@@ -38,6 +38,7 @@
 package tagger
 
 import (
+	"repro/internal/chaos"
 	"repro/internal/controller"
 	"repro/internal/core"
 	"repro/internal/dataplane"
@@ -234,15 +235,87 @@ func DefaultDCQCN() DCQCNConfig { return sim.DefaultDCQCN() }
 // had to do (the related-work baseline the paper argues against).
 type RecoveryStats = sim.RecoveryStats
 
+// WatchdogStats is the continuous deadlock watchdog's tally — the
+// chaos-soak verdict.
+type WatchdogStats = sim.WatchdogStats
+
+// DeadlockString renders a detected pause-wait cycle for logs.
+func DeadlockString(cycle []string) string { return sim.DeadlockString(cycle) }
+
 // Deployment artifacts (§6): serialized bundles and the SDN controller.
 type (
 	// Bundle is the JSON deployment artifact operators push to switches.
 	Bundle = deploy.Bundle
 	// ControllerEvent is a topology event delivered to the controller.
 	ControllerEvent = controller.Event
+	// ControllerEventKind is the typed event discriminator.
+	ControllerEventKind = controller.EventKind
 	// FabricController owns a fabric's Tagger deployment.
 	FabricController = controller.Controller
+	// SwitchAgent is the controller's per-switch install RPC surface.
+	SwitchAgent = controller.SwitchAgent
+	// DeployConfig tunes the controller's retry/backoff/rollback pipeline.
+	DeployConfig = controller.DeployConfig
+	// AuditEntry is one recorded deployment RPC attempt.
+	AuditEntry = controller.AuditEntry
+	// ControllerOption customizes controller construction.
+	ControllerOption = controller.Option
 )
+
+// Typed controller event kinds; a misspelled kind is now a compile error.
+const (
+	EventLinkDown  = controller.EventLinkDown
+	EventLinkUp    = controller.EventLinkUp
+	EventExpansion = controller.EventExpansion
+)
+
+// ParseControllerEventKind maps a wire name ("link-down", "link-up",
+// "expansion") to its typed kind, erroring on unknown names — the
+// runtime path for decoded inputs.
+func ParseControllerEventKind(s string) (ControllerEventKind, error) {
+	return controller.ParseEventKind(s)
+}
+
+// WithSwitchAgent points a controller's install RPCs at the given agent.
+func WithSwitchAgent(a SwitchAgent) ControllerOption { return controller.WithAgent(a) }
+
+// WithDeployConfig overrides a controller's retry/backoff parameters.
+func WithDeployConfig(cfg DeployConfig) ControllerOption { return controller.WithDeployConfig(cfg) }
+
+// DefaultDeployConfig returns the standard pipeline parameters.
+func DefaultDeployConfig() DeployConfig { return controller.DefaultDeployConfig() }
+
+// Chaos harness: seeded fault schedules and the unreliable switch fabric.
+type (
+	// ChaosConfig parameterizes fault-schedule generation.
+	ChaosConfig = chaos.Config
+	// ChaosSchedule is a seeded, time-sorted fault plan.
+	ChaosSchedule = chaos.Schedule
+	// ChaosFault is one timed fault event.
+	ChaosFault = chaos.Fault
+	// ChaosFabric is the unreliable in-memory switch-agent fleet.
+	ChaosFabric = chaos.Fabric
+)
+
+// Fault kinds for hand-built chaos faults.
+const (
+	ChaosFaultLinkDown          = chaos.FaultLinkDown
+	ChaosFaultLinkUp            = chaos.FaultLinkUp
+	ChaosFaultSwitchReboot      = chaos.FaultSwitchReboot
+	ChaosFaultRPCDrop           = chaos.FaultRPCDrop
+	ChaosFaultRPCDelay          = chaos.FaultRPCDelay
+	ChaosFaultRPCDuplicate      = chaos.FaultRPCDuplicate
+	ChaosFaultInstallTransient  = chaos.FaultInstallTransient
+	ChaosFaultInstallPersistent = chaos.FaultInstallPersistent
+	ChaosFaultInstallPartial    = chaos.FaultInstallPartial
+	ChaosFaultPass              = chaos.FaultPass
+)
+
+// GenerateChaos produces the deterministic fault schedule for (cfg, seed).
+func GenerateChaos(cfg ChaosConfig, seed int64) ChaosSchedule { return chaos.Generate(cfg, seed) }
+
+// NewChaosFabric builds an unreliable agent fleet over the named switches.
+func NewChaosFabric(switches []string) *ChaosFabric { return chaos.NewFabric(switches) }
 
 // ExportBundle serializes a ruleset for deployment.
 func ExportBundle(rs *Ruleset) *Bundle { return deploy.Export(rs) }
@@ -257,9 +330,10 @@ func UnmarshalBundle(data []byte) (*Bundle, error) { return deploy.Unmarshal(dat
 func DiffBundles(oldB, newB *Bundle) map[string]deploy.SwitchDiff { return deploy.Diff(oldB, newB) }
 
 // NewClosController builds the §6 SDN controller deploying the optimal
-// Clos scheme with bounce budget k.
-func NewClosController(c *Clos, k int) (*FabricController, error) {
-	return controller.NewClos(c, k)
+// Clos scheme with bounce budget k. Options can point it at an
+// unreliable switch fabric and tune the retry pipeline.
+func NewClosController(c *Clos, k int, opts ...ControllerOption) (*FabricController, error) {
+	return controller.NewClos(c, k, opts...)
 }
 
 // Dataplane is the frame-level (§7 Broadcom-style) compiled TCAM fabric.

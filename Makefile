@@ -1,11 +1,18 @@
 GO ?= go
+BENCHTIME ?= 1x
+BENCH_OUT ?= BENCH_$(shell date +%F).json
+# Opt-in perf gate: make check BENCH_BASELINE=BENCH_seed.json reruns the
+# benchmarks and fails on a >15% time regression against that snapshot.
+BENCH_BASELINE ?=
 
-.PHONY: all check build vet test race bench fuzz cover examples experiments clean
+.PHONY: all check build vet test determinism race bench benchdiff benchgate fuzz cover examples experiments clean
 
 all: check
 
-# check is the pre-merge gate: build, vet, tests, and the race detector.
-check: build vet test race
+# check is the pre-merge gate: build, vet, tests, the parallel-determinism
+# contract under the race detector, the full race suite, and (opt-in via
+# BENCH_BASELINE) the benchmark regression gate.
+check: build vet test determinism race benchgate
 
 build:
 	$(GO) build ./...
@@ -16,12 +23,34 @@ vet:
 test:
 	$(GO) test ./...
 
+# The par=1 vs par=N equivalence proof, under the race detector: the
+# parallel synthesis path must emit byte-identical rules and graphs.
+determinism:
+	$(GO) test -race -run 'TestParallelDeterminism' .
+
 race:
 	$(GO) test -race ./...
 
-# Regenerates every table and figure of the paper (see EXPERIMENTS.md).
+# Runs every benchmark and records the results as a JSON snapshot
+# (BENCH_<date>.json) for the repo's performance trajectory. Override
+# BENCHTIME for stabler numbers: make bench BENCHTIME=5x
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) ./... | tee /tmp/bench_run.txt
+	$(GO) run ./cmd/benchdiff -record $(BENCH_OUT) /tmp/bench_run.txt
+
+# Compares two snapshots; fails on a >15% time regression.
+# Usage: make benchdiff OLD=BENCH_seed.json NEW=BENCH_2026-08-05.json
+benchdiff:
+	$(GO) run ./cmd/benchdiff $(OLD) $(NEW)
+
+benchgate:
+ifeq ($(strip $(BENCH_BASELINE)),)
+	@echo "benchgate: skipped (set BENCH_BASELINE=BENCH_seed.json to enable)"
+else
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) ./... > /tmp/benchgate_run.txt
+	$(GO) run ./cmd/benchdiff -record /tmp/benchgate_run.json /tmp/benchgate_run.txt
+	$(GO) run ./cmd/benchdiff $(BENCH_BASELINE) /tmp/benchgate_run.json
+endif
 
 fuzz:
 	$(GO) test -fuzz FuzzDecodeRoCEv2 -fuzztime 30s ./internal/wire/

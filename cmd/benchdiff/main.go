@@ -1,0 +1,95 @@
+// Command benchdiff records and compares benchmark snapshots.
+//
+// Record mode parses `go test -bench -benchmem` text (stdin or a file)
+// into a JSON snapshot:
+//
+//	go test -bench . -benchmem | benchdiff -record BENCH_2026-08-05.json
+//	benchdiff -record BENCH_seed.json bench_seed.txt
+//
+// Compare mode diffs two snapshots and exits 1 when any benchmark's
+// ns/op grew beyond the threshold (default 15%):
+//
+//	benchdiff BENCH_seed.json BENCH_2026-08-05.json
+//	benchdiff -threshold 0.30 old.json new.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"repro/internal/benchfmt"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchdiff: ")
+
+	var (
+		record    = flag.String("record", "", "parse benchmark text into this JSON snapshot instead of comparing")
+		threshold = flag.Float64("threshold", 0.15, "time regression tolerance (0.15 = +15%)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: benchdiff -record out.json [bench.txt]\n       benchdiff [-threshold 0.15] old.json new.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *record != "" {
+		if err := recordSnapshot(*record, flag.Args()); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	old, err := benchfmt.ReadFile(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cur, err := benchfmt.ReadFile(flag.Arg(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	deltas := benchfmt.Compare(old, cur, *threshold)
+	if len(deltas) == 0 {
+		log.Fatalf("no common benchmarks between %s and %s", flag.Arg(0), flag.Arg(1))
+	}
+	fmt.Print(benchfmt.FormatDeltas(deltas))
+	if benchfmt.AnyRegression(deltas) {
+		log.Fatalf("time regression beyond %.0f%% threshold", *threshold*100)
+	}
+	fmt.Printf("ok: %d benchmarks within %.0f%% of baseline\n", len(deltas), *threshold*100)
+}
+
+func recordSnapshot(out string, args []string) error {
+	in := io.Reader(os.Stdin)
+	if len(args) == 1 {
+		f, err := os.Open(args[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	} else if len(args) > 1 {
+		return fmt.Errorf("record mode takes at most one input file, got %d", len(args))
+	}
+	snap, err := benchfmt.Parse(in)
+	if err != nil {
+		return err
+	}
+	if len(snap.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found in input")
+	}
+	if err := benchfmt.WriteFile(out, snap); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d benchmarks to %s\n", len(snap.Benchmarks), out)
+	return nil
+}

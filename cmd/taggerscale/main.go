@@ -7,13 +7,18 @@
 //	taggerscale                         # the default Table 5 sweep
 //	taggerscale -switches 500 -ports 24 # one custom Jellyfish point
 //	taggerscale -switches 500 -random 10000
+//	taggerscale -switches 500 -par 1    # force the serial synthesis path
 //	taggerscale -bcube                  # BCube levels vs tags
+//	taggerscale -cpuprofile cpu.out -switches 200
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
+	"runtime/pprof"
 
 	tagger "repro"
 	"repro/internal/metrics"
@@ -24,16 +29,47 @@ func main() {
 	log.SetPrefix("taggerscale: ")
 
 	var (
-		switches = flag.Int("switches", 0, "custom Jellyfish switch count (0 = default sweep)")
-		ports    = flag.Int("ports", 24, "custom Jellyfish ports per switch")
-		random   = flag.Int("random", 0, "extra random ELP paths")
-		seed     = flag.Int64("seed", 1, "Jellyfish seed")
-		bcube    = flag.Bool("bcube", false, "run the BCube tag-count sweep instead")
-		fattree  = flag.Bool("fattree", false, "run the fat-tree sweep instead")
+		switches   = flag.Int("switches", 0, "custom Jellyfish switch count (0 = default sweep)")
+		ports      = flag.Int("ports", 24, "custom Jellyfish ports per switch")
+		random     = flag.Int("random", 0, "extra random ELP paths")
+		seed       = flag.Int64("seed", 1, "Jellyfish seed")
+		bcube      = flag.Bool("bcube", false, "run the BCube tag-count sweep instead")
+		fattree    = flag.Bool("fattree", false, "run the fat-tree sweep instead")
+		par        = flag.Int("par", 0, "synthesis worker count (0 = GOMAXPROCS, 1 = serial legacy path)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
-	if *fattree {
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // measure retained heap, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
+	run(*switches, *ports, *random, *seed, *par, *bcube, *fattree)
+}
+
+func run(switches, ports, random int, seed int64, par int, bcube, fattree bool) {
+	if fattree {
 		t := metrics.NewTable("k", "Switches", "Hosts", "ELP", "Queues", "TCAM max/switch")
 		for _, k := range []int{4, 6, 8} {
 			ft, err := tagger.NewFatTree(k)
@@ -54,7 +90,7 @@ func main() {
 		return
 	}
 
-	if *bcube {
+	if bcube {
 		t := metrics.NewTable("BCube(n,k)", "Servers", "Levels", "Tags")
 		for _, c := range []struct{ n, k int }{{4, 1}, {2, 2}, {8, 1}} {
 			tags, err := tagger.BCubeTags(c.n, c.k)
@@ -72,8 +108,8 @@ func main() {
 		return
 	}
 
-	if *switches > 0 {
-		row, err := tagger.Table5Case(*switches, *ports, *random, *seed)
+	if switches > 0 {
+		row, err := tagger.Table5CasePar(switches, ports, random, seed, par)
 		if err != nil {
 			log.Fatal(err)
 		}

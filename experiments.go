@@ -131,17 +131,25 @@ func (r Table5Result) String() string {
 // shortest-path ELP between all switch pairs (plus extraRandom random
 // paths), synthesized with Algorithms 1+2 and compressed to TCAM entries.
 func Table5Case(switches, ports int, extraRandom int, seed int64) (Table5Row, error) {
-	return table5Case(switches, ports, extraRandom, seed, false)
+	return table5Case(switches, ports, extraRandom, seed, false, 1)
+}
+
+// Table5CasePar is Table5Case with an explicit worker count for the
+// fan-out stages: ELP enumeration, Algorithm 1, rule derivation, replay
+// and TCAM compression (0 = GOMAXPROCS, 1 = serial). Every worker count
+// computes the identical row; see internal/parallel.
+func Table5CasePar(switches, ports, extraRandom int, seed int64, par int) (Table5Row, error) {
+	return table5Case(switches, ports, extraRandom, seed, false, par)
 }
 
 // Table5CaseECMP is Table5Case with the denser ELP production fabrics
 // run: ALL equal-cost shortest paths per pair (capped at 8), the multipath
 // sets ECMP actually spreads over.
 func Table5CaseECMP(switches, ports int, seed int64) (Table5Row, error) {
-	return table5Case(switches, ports, 0, seed, true)
+	return table5Case(switches, ports, 0, seed, true, 1)
 }
 
-func table5Case(switches, ports, extraRandom int, seed int64, ecmp bool) (Table5Row, error) {
+func table5Case(switches, ports, extraRandom int, seed int64, ecmp bool, par int) (Table5Row, error) {
 	j, err := topology.NewJellyfish(topology.JellyfishConfig{
 		Switches: switches, Ports: ports, Seed: seed,
 	})
@@ -152,7 +160,7 @@ func table5Case(switches, ports, extraRandom int, seed int64, ecmp bool) (Table5
 	if ecmp {
 		set = elp.ShortestAllECMP(j.Graph, j.Switches, 8)
 	} else {
-		set = elp.ShortestAll(j.Graph, j.Switches)
+		set = elp.ShortestAllN(j.Graph, j.Switches, par)
 	}
 	if extraRandom > 0 {
 		maxHops := 2 // random paths up to 2x the diameter-ish; keep short
@@ -163,11 +171,11 @@ func table5Case(switches, ports, extraRandom int, seed int64, ecmp bool) (Table5
 		}
 		elp.AddRandomPaths(set, j.Graph, j.Switches, extraRandom, maxHops+2, seed^0x7ead)
 	}
-	sys, err := core.Synthesize(j.Graph, set.Paths(), core.Options{})
+	sys, err := core.Synthesize(j.Graph, set.Paths(), core.Options{Workers: par})
 	if err != nil {
 		return Table5Row{}, err
 	}
-	entries := tcam.Compress(sys.Rules.Rules())
+	entries := tcam.CompressN(sys.Rules.Rules(), par)
 	return Table5Row{
 		Switches:        switches,
 		Ports:           ports,

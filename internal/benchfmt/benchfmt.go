@@ -1,0 +1,187 @@
+// Package benchfmt parses `go test -bench` output into structured
+// records, persists them as JSON snapshot files (the repo's BENCH_*.json
+// trajectory), and compares two snapshots against a regression threshold.
+// It is the engine behind `make bench` and cmd/benchdiff.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	N           int64   `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds custom b.ReportMetric units (e.g. "priorities",
+	// "max-rules") and any standard unit not broken out above.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is one benchmark snapshot: the JSON document `benchdiff -record`
+// writes and `benchdiff old new` compares.
+type File struct {
+	// Context captures the `goos:`/`goarch:`/`pkg:`/`cpu:` header lines.
+	Context    map[string]string `json:"context,omitempty"`
+	Benchmarks []Benchmark       `json:"benchmarks"`
+}
+
+// Parse reads `go test -bench` text output. Non-benchmark lines (PASS,
+// ok, header lines) are skipped; header lines are kept as context.
+func Parse(r io.Reader) (*File, error) {
+	f := &File{Context: map[string]string{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		for _, h := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if v, ok := strings.CutPrefix(line, h+":"); ok {
+				f.Context[h] = strings.TrimSpace(v)
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		b, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("benchfmt: %w", err)
+		}
+		f.Benchmarks = append(f.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(f.Benchmarks, func(i, j int) bool { return f.Benchmarks[i].Name < f.Benchmarks[j].Name })
+	return f, nil
+}
+
+func parseLine(line string) (Benchmark, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, fmt.Errorf("malformed benchmark line %q", line)
+	}
+	n, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("iteration count in %q: %w", line, err)
+	}
+	b := Benchmark{Name: fields[0], N: n}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("value %q in %q: %w", fields[i], line, err)
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	return b, nil
+}
+
+// WriteFile persists a snapshot as indented JSON.
+func WriteFile(path string, f *File) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile loads a snapshot written by WriteFile.
+func ReadFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("benchfmt: %s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// Delta is the old-vs-new comparison of one benchmark.
+type Delta struct {
+	Name       string
+	OldNs      float64
+	NewNs      float64
+	TimeRatio  float64 // new/old; 1.20 = 20% slower
+	OldAllocs  float64
+	NewAllocs  float64
+	Regression bool // time ratio exceeded the threshold
+}
+
+// Compare matches benchmarks by name and flags every one whose ns/op
+// grew by more than threshold (0.15 = +15%). Benchmarks present in only
+// one snapshot are skipped — the gate judges only common ground.
+func Compare(old, new *File, threshold float64) []Delta {
+	idx := make(map[string]Benchmark, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		idx[b.Name] = b
+	}
+	var out []Delta
+	for _, nb := range new.Benchmarks {
+		ob, ok := idx[nb.Name]
+		if !ok || ob.NsPerOp <= 0 {
+			continue
+		}
+		d := Delta{
+			Name:      nb.Name,
+			OldNs:     ob.NsPerOp,
+			NewNs:     nb.NsPerOp,
+			TimeRatio: nb.NsPerOp / ob.NsPerOp,
+			OldAllocs: ob.AllocsPerOp,
+			NewAllocs: nb.AllocsPerOp,
+		}
+		d.Regression = d.TimeRatio > 1+threshold
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// AnyRegression reports whether some delta tripped the threshold.
+func AnyRegression(deltas []Delta) bool {
+	for _, d := range deltas {
+		if d.Regression {
+			return true
+		}
+	}
+	return false
+}
+
+// FormatDeltas renders a comparison table for terminals and CI logs.
+func FormatDeltas(deltas []Delta) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-40s %14s %14s %8s %12s\n", "benchmark", "old ns/op", "new ns/op", "ratio", "allocs")
+	for _, d := range deltas {
+		mark := ""
+		if d.Regression {
+			mark = "  << REGRESSION"
+		}
+		fmt.Fprintf(&b, "%-40s %14.0f %14.0f %7.2fx %6.0f->%-6.0f%s\n",
+			d.Name, d.OldNs, d.NewNs, d.TimeRatio, d.OldAllocs, d.NewAllocs, mark)
+	}
+	return b.String()
+}

@@ -1,0 +1,121 @@
+package benchfmt
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: AMD EPYC 7B13
+BenchmarkAlgorithm2Jellyfish200         	       1	  70200000 ns/op	15900000 B/op	   68660 allocs/op
+BenchmarkTable5Jellyfish200             	       5	 382600000 ns/op	         4.000 longest	        24.00 max-rules	         3.000 priorities	91000000 B/op	  612783 allocs/op
+PASS
+ok  	repro	12.345s
+`
+
+func TestParse(t *testing.T) {
+	f, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Context["goos"]; got != "linux" {
+		t.Errorf("context goos = %q, want linux", got)
+	}
+	if len(f.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(f.Benchmarks))
+	}
+	a := f.Benchmarks[0]
+	if a.Name != "BenchmarkAlgorithm2Jellyfish200" || a.N != 1 ||
+		a.NsPerOp != 70200000 || a.BytesPerOp != 15900000 || a.AllocsPerOp != 68660 {
+		t.Errorf("unexpected first benchmark: %+v", a)
+	}
+	b := f.Benchmarks[1]
+	if b.Metrics["priorities"] != 3 || b.Metrics["max-rules"] != 24 {
+		t.Errorf("custom metrics not parsed: %+v", b.Metrics)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	if _, err := Parse(strings.NewReader("BenchmarkBroken 12 ns/op\n")); err == nil {
+		t.Error("odd field count accepted")
+	}
+	if _, err := Parse(strings.NewReader("BenchmarkBroken x 100 ns/op\n")); err == nil {
+		t.Error("non-numeric iteration count accepted")
+	}
+}
+
+func bench(name string, ns, allocs float64) Benchmark {
+	return Benchmark{Name: name, N: 1, NsPerOp: ns, AllocsPerOp: allocs}
+}
+
+// The contract the Makefile gate relies on: a 20% time regression trips
+// the default 15% threshold, a 10% one does not.
+func TestCompareThreshold(t *testing.T) {
+	old := &File{Benchmarks: []Benchmark{
+		bench("BenchmarkSlower", 100e6, 1000),
+		bench("BenchmarkWithin", 100e6, 1000),
+		bench("BenchmarkFaster", 100e6, 1000),
+		bench("BenchmarkRemoved", 100e6, 1000),
+	}}
+	cur := &File{Benchmarks: []Benchmark{
+		bench("BenchmarkSlower", 120e6, 1000), // +20%: regression
+		bench("BenchmarkWithin", 110e6, 1000), // +10%: noise, passes
+		bench("BenchmarkFaster", 50e6, 500),
+		bench("BenchmarkAdded", 100e6, 1000),
+	}}
+	deltas := Compare(old, cur, 0.15)
+	if len(deltas) != 3 {
+		t.Fatalf("got %d deltas, want 3 (unmatched names skipped)", len(deltas))
+	}
+	byName := map[string]Delta{}
+	for _, d := range deltas {
+		byName[d.Name] = d
+	}
+	if !byName["BenchmarkSlower"].Regression {
+		t.Error("+20%% not flagged as regression at 15%% threshold")
+	}
+	if byName["BenchmarkWithin"].Regression {
+		t.Error("+10%% flagged as regression at 15%% threshold")
+	}
+	if byName["BenchmarkFaster"].Regression {
+		t.Error("speedup flagged as regression")
+	}
+	if !AnyRegression(deltas) {
+		t.Error("AnyRegression missed the flagged delta")
+	}
+	out := FormatDeltas(deltas)
+	if !strings.Contains(out, "REGRESSION") {
+		t.Errorf("formatted table missing REGRESSION marker:\n%s", out)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	f, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := WriteFile(path, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Benchmarks) != len(f.Benchmarks) {
+		t.Fatalf("round trip lost benchmarks: %d != %d", len(got.Benchmarks), len(f.Benchmarks))
+	}
+	for i := range got.Benchmarks {
+		if got.Benchmarks[i].Name != f.Benchmarks[i].Name ||
+			got.Benchmarks[i].NsPerOp != f.Benchmarks[i].NsPerOp {
+			t.Errorf("benchmark %d differs after round trip", i)
+		}
+	}
+	// Identical snapshots compare clean at any threshold.
+	if AnyRegression(Compare(f, got, 0)) {
+		t.Error("identical snapshots reported a regression")
+	}
+}

@@ -1,10 +1,6 @@
 package core
 
-import (
-	"sort"
-
-	"repro/internal/topology"
-)
+import "sort"
 
 // GreedyMinimize implements the paper's Algorithm 2: it compresses the
 // tags of a brute-force tagged graph by greedily merging as many (port,
@@ -19,27 +15,51 @@ import (
 // cycle, because every vertex demoted during one old-tag iteration shares
 // that old tag and brute-force graphs have no same-tag edges).
 //
+// The sandbox (sandbox.go) answers the acyclicity question incrementally
+// over dense, epoch-stamped port arrays: uncontested admissions are O(1)
+// and contested ones cost one allocation-free reachability walk. The loop
+// below likewise runs over dense vertex IDs — no per-vertex map
+// operations anywhere in Algorithm 2.
+//
 // The input graph must be a brute-force graph (every edge increases the
 // tag by exactly one); GreedyMinimize panics otherwise, because the
-// sandbox reasoning above is unsound for arbitrary graphs.
+// sandbox reasoning above is unsound for arbitrary graphs. The check is
+// folded into the predecessor walk that computes merge degrees anyway
+// (every edge is some vertex's in-edge), so validation costs nothing
+// extra and stops at the first violation.
 func GreedyMinimize(bf *TaggedGraph) *TaggedGraph {
-	for e := range bf.edgeSet {
-		if e.To.Tag != e.From.Tag+1 {
+	n := len(bf.nodes)
+
+	// Bucket vertex IDs by old tag (counting sort — byTag[start[t]:start[t+1]]
+	// is old tag t's group, in insertion order before the per-group sort).
+	start := make([]int32, bf.maxTag+2)
+	for _, nd := range bf.nodes {
+		start[nd.Tag+1]++
+	}
+	for t := 1; t <= bf.maxTag+1; t++ {
+		start[t] += start[t-1]
+	}
+	byTag := make([]int32, n)
+	fill := make([]int32, bf.maxTag+1)
+	copy(fill, start)
+	for id, nd := range bf.nodes {
+		if nd.Tag == 0 && bf.predHead[id] != 0 {
+			// An in-edge whose head carries tag 0 cannot satisfy
+			// To.Tag == From.Tag+1; tag-0 groups are never processed
+			// below, so this is the one case the fused check would miss.
 			panic("core: GreedyMinimize requires a brute-force tagged graph")
 		}
+		byTag[fill[nd.Tag]] = int32(id)
+		fill[nd.Tag]++
 	}
 
-	// Vertices grouped by old tag.
-	byTag := make(map[int][]TagNode)
-	for n := range bf.nodes {
-		byTag[n.Tag] = append(byTag[n.Tag], n)
-	}
-
-	newTag := make(map[TagNode]int, len(bf.nodes))
-	// sandbox is the port graph of the current new tag t'. Edges exist
-	// only between ports whose vertices were both merged into t'.
-	sandbox := make(map[topology.PortID][]topology.PortID)
-	tPrime := 1
+	newTag := make([]int32, n)
+	// sb is the port graph of the current new tag t'. Edges exist only
+	// between ports whose vertices were both merged into t'.
+	sb := newSandbox(bf.g.NumPorts())
+	deg := make([]int32, n)
+	var us []int32
+	tPrime := int32(1)
 
 	for t := 1; t <= bf.maxTag; t++ {
 		// Process the least-constrained vertices first: those with the
@@ -50,34 +70,38 @@ func GreedyMinimize(bf *TaggedGraph) *TaggedGraph {
 		// priorities (Table 5); a naive port order drifts to four. The
 		// degrees are stable within the iteration because every
 		// predecessor (old tag t-1) was assigned in the previous one.
-		ns := byTag[t]
-		deg := make(map[TagNode]int, len(ns))
-		for _, v := range ns {
-			d := 0
-			for _, u := range bf.pred[v] {
+		group := byTag[start[t]:start[t+1]]
+		for _, v := range group {
+			d := int32(0)
+			for i := bf.predHead[v]; i != 0; i = bf.predPool[i-1].next {
+				u := bf.predPool[i-1].node
+				if bf.nodes[u].Tag != t-1 {
+					panic("core: GreedyMinimize requires a brute-force tagged graph")
+				}
 				if newTag[u] == tPrime {
 					d++
 				}
 			}
 			deg[v] = d
 		}
-		sort.Slice(ns, func(i, j int) bool {
-			if deg[ns[i]] != deg[ns[j]] {
-				return deg[ns[i]] < deg[ns[j]]
+		sort.Slice(group, func(i, j int) bool {
+			if deg[group[i]] != deg[group[j]] {
+				return deg[group[i]] < deg[group[j]]
 			}
-			return ns[i].Port < ns[j].Port
+			return bf.nodes[group[i]].Port < bf.nodes[group[j]].Port
 		})
 		demoted := false
-		for _, v := range ns {
+		for _, v := range group {
 			// Candidate same-tag edges: predecessors (old tag t-1) that
 			// were merged into the current new tag.
-			var newEdges []topology.PortID
-			for _, u := range bf.pred[v] {
+			us = us[:0]
+			for i := bf.predHead[v]; i != 0; i = bf.predPool[i-1].next {
+				u := bf.predPool[i-1].node
 				if newTag[u] == tPrime {
-					newEdges = append(newEdges, u.Port)
+					us = append(us, int32(bf.nodes[u].Port))
 				}
 			}
-			if tryAddAcyclic(sandbox, v.Port, newEdges) {
+			if sb.tryAdd(int32(bf.nodes[v].Port), us) {
 				newTag[v] = tPrime
 			} else {
 				newTag[v] = tPrime + 1
@@ -86,68 +110,29 @@ func GreedyMinimize(bf *TaggedGraph) *TaggedGraph {
 		}
 		if demoted {
 			// The demoted vertices all share old tag t, so G_{t'+1} starts
-			// with no edges among them; a fresh sandbox is exactly it.
+			// with no edges among them; an empty sandbox is exactly it.
 			tPrime++
-			sandbox = make(map[topology.PortID][]topology.PortID)
+			sb.reset()
 		}
 	}
 
-	// Materialize the merged graph.
+	// Materialize the merged graph: remap every vertex and edge through
+	// newTag. intern/addEdgeIDs collapse vertices (and dedup edges) that
+	// merged onto the same (port, newTag).
 	out := NewTaggedGraph(bf.g)
-	for n := range bf.nodes {
-		out.AddNode(TagNode{Port: n.Port, Tag: newTag[n]})
+	out.nodes = make([]TagNode, 0, n)
+	out.succHead = make([]int32, 0, n)
+	out.predHead = make([]int32, 0, n)
+	out.succPool = make([]adjEntry, 0, bf.numEdges)
+	out.predPool = make([]adjEntry, 0, bf.numEdges)
+	ids := make([]int32, n)
+	for id, nd := range bf.nodes {
+		ids[id] = out.intern(TagNode{Port: nd.Port, Tag: int(newTag[id])})
 	}
-	for e := range bf.edgeSet {
-		out.AddEdge(
-			TagNode{Port: e.From.Port, Tag: newTag[e.From]},
-			TagNode{Port: e.To.Port, Tag: newTag[e.To]},
-		)
+	for id := range bf.nodes {
+		for i := bf.succHead[id]; i != 0; i = bf.succPool[i-1].next {
+			out.addEdgeIDs(ids[id], ids[bf.succPool[i-1].node])
+		}
 	}
 	return out
-}
-
-// tryAddAcyclic tentatively adds port p (with the given incoming same-tag
-// edges) to the sandbox and commits iff the graph stays acyclic. The check
-// is incremental: a new cycle must pass through a new edge u->p, which
-// exists iff p already reaches u.
-func tryAddAcyclic(adj map[topology.PortID][]topology.PortID, p topology.PortID, newEdges []topology.PortID) bool {
-	if len(newEdges) > 0 {
-		targets := make(map[topology.PortID]bool, len(newEdges))
-		for _, u := range newEdges {
-			if u == p {
-				return false // self-loop (cannot occur for path graphs)
-			}
-			targets[u] = true
-		}
-		if reachesAny(adj, p, targets) {
-			return false
-		}
-	}
-	for _, u := range newEdges {
-		adj[u] = append(adj[u], p)
-	}
-	return true
-}
-
-// reachesAny reports whether any node in targets is reachable from start.
-func reachesAny(adj map[topology.PortID][]topology.PortID, start topology.PortID, targets map[topology.PortID]bool) bool {
-	if targets[start] {
-		return true
-	}
-	seen := map[topology.PortID]bool{start: true}
-	stack := []topology.PortID{start}
-	for len(stack) > 0 {
-		u := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, v := range adj[u] {
-			if targets[v] {
-				return true
-			}
-			if !seen[v] {
-				seen[v] = true
-				stack = append(stack, v)
-			}
-		}
-	}
-	return false
 }

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"repro/internal/parallel"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// This file holds the sharded builders of the synthesis pipeline. They
+// all follow the same shape: path (or switch) ranges are fanned out to
+// workers, each worker fills a shard-private structure, and shards are
+// folded in shard order — so any worker count yields the same output as
+// the serial walk, and par=1 runs inline with no goroutines at all.
+
+// BruteForceN is BruteForce with an explicit worker count (0 =
+// GOMAXPROCS, 1 = serial). All worker counts produce the same graph.
+func BruteForceN(g *topology.Graph, paths []routing.Path, par int) *TaggedGraph {
+	w := parallel.Workers(par, len(paths))
+	if w <= 1 {
+		tg := NewTaggedGraph(g)
+		for _, r := range paths {
+			tg.addPath(r)
+		}
+		return tg
+	}
+	shards := parallel.Shards(len(paths), w)
+	locals := make([]*TaggedGraph, len(shards))
+	parallel.ForEachShard(len(paths), w, func(s parallel.Shard) {
+		tg := NewTaggedGraph(g)
+		for _, r := range paths[s.Lo:s.Hi] {
+			tg.addPath(r)
+		}
+		locals[s.Index] = tg
+	})
+	out := locals[0]
+	for _, l := range locals[1:] {
+		out.mergeFrom(l)
+	}
+	return out
+}
+
+// replayPath pushes one path through rs starting at startTag and, when tg
+// is non-nil, materializes the (port, tag) vertices and edges the packet
+// traverses. It returns whether the path stayed lossless end to end.
+// Inlining the replay avoids the per-path tag-slice allocation of
+// Ruleset.Replay on the synthesis hot path.
+func replayPath(rs *Ruleset, tg *TaggedGraph, p routing.Path, startTag int) bool {
+	g := rs.g
+	tag := startTag
+	var last int32
+	haveLast := false
+	for i := 1; i < len(p); i++ {
+		if tg != nil {
+			id := tg.intern(TagNode{Port: ingressPortID(g, p[i-1], p[i]), Tag: tag})
+			if haveLast {
+				tg.addEdgeIDs(last, id)
+			}
+			last, haveLast = id, true
+		}
+		if i+1 < len(p) {
+			sw := p[i]
+			in := g.PortToPeer(sw, p[i-1])
+			out := g.PortToPeer(sw, p[i+1])
+			tag = rs.Classify(sw, tag, in, out)
+			if tag == LossyTag {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// buildRuleGraphN is BuildRuleGraph with an explicit worker count.
+func buildRuleGraphN(rs *Ruleset, paths []routing.Path, startTag, par int) (*TaggedGraph, []routing.Path) {
+	w := parallel.Workers(par, len(paths))
+	if w <= 1 {
+		tg := NewTaggedGraph(rs.g)
+		var violations []routing.Path
+		for _, p := range paths {
+			if !replayPath(rs, tg, p, startTag) {
+				violations = append(violations, p)
+			}
+		}
+		return tg, violations
+	}
+	shards := parallel.Shards(len(paths), w)
+	locals := make([]*TaggedGraph, len(shards))
+	lviol := make([][]routing.Path, len(shards))
+	parallel.ForEachShard(len(paths), w, func(s parallel.Shard) {
+		tg := NewTaggedGraph(rs.g)
+		for _, p := range paths[s.Lo:s.Hi] {
+			if !replayPath(rs, tg, p, startTag) {
+				lviol[s.Index] = append(lviol[s.Index], p)
+			}
+		}
+		locals[s.Index] = tg
+	})
+	out := locals[0]
+	for _, l := range locals[1:] {
+		out.mergeFrom(l)
+	}
+	var violations []routing.Path
+	for _, v := range lviol {
+		violations = append(violations, v...)
+	}
+	return out, violations
+}

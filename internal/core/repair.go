@@ -96,27 +96,5 @@ func RepairReplay(rs *Ruleset, paths []routing.Path, startTag int) []Repair {
 // It also returns the paths that did not stay lossless (empty when the
 // ruleset fully covers the ELP).
 func BuildRuleGraph(rs *Ruleset, paths []routing.Path, startTag int) (*TaggedGraph, []routing.Path) {
-	tg := NewTaggedGraph(rs.g)
-	var violations []routing.Path
-	for _, p := range paths {
-		res := rs.Replay(p, startTag)
-		if !res.Lossless {
-			violations = append(violations, p)
-		}
-		var last TagNode
-		haveLast := false
-		for i := 1; i < len(p); i++ {
-			tag := res.Tags[i-1]
-			if tag == LossyTag {
-				break
-			}
-			n := TagNode{Port: ingressPortID(rs.g, p[i-1], p[i]), Tag: tag}
-			tg.AddNode(n)
-			if haveLast {
-				tg.AddEdge(last, n)
-			}
-			last, haveLast = n, true
-		}
-	}
-	return tg, violations
+	return buildRuleGraphN(rs, paths, startTag, 0)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/parallel"
 	"repro/internal/routing"
 	"repro/internal/topology"
 )
@@ -25,10 +26,33 @@ type Rule struct {
 	NewTag int
 }
 
-type ruleKey struct {
-	sw      topology.NodeID
-	tag     int
-	in, out int
+// ruleKey packs a rule match (switch, tag, in, out) into one uint64 —
+// 24 bits of switch, 8 of tag, 16 each of port number — so the rule
+// table hits Go's fast integer map path on the replay hot loop. The
+// field widths cover fabrics orders of magnitude beyond Table 5's;
+// packRuleKey panics rather than silently truncating.
+type ruleKey uint64
+
+func packRuleKey(sw topology.NodeID, tag, in, out int) ruleKey {
+	if uint64(uint32(sw)) >= 1<<24 || uint64(uint32(tag)) >= 1<<8 ||
+		uint64(uint32(in)) >= 1<<16 || uint64(uint32(out)) >= 1<<16 {
+		panic(fmt.Sprintf("core: rule key out of range: sw=%d tag=%d in=%d out=%d", sw, tag, in, out))
+	}
+	return ruleKey(uint64(sw)<<40 | uint64(tag)<<32 | uint64(in)<<16 | uint64(out))
+}
+
+// packRuleKeyOK is packRuleKey for lookups: out-of-range fields mean the
+// key cannot be installed, reported as ok=false instead of a panic.
+func packRuleKeyOK(sw topology.NodeID, tag, in, out int) (ruleKey, bool) {
+	if sw < 0 || sw >= 1<<24 || tag < 0 || tag >= 1<<8 ||
+		in < 0 || in >= 1<<16 || out < 0 || out >= 1<<16 {
+		return 0, false
+	}
+	return ruleKey(uint64(sw)<<40 | uint64(tag)<<32 | uint64(in)<<16 | uint64(out)), true
+}
+
+func (k ruleKey) unpack() (sw topology.NodeID, tag, in, out int) {
+	return topology.NodeID(k >> 40), int(k >> 32 & 0xff), int(k >> 16 & 0xffff), int(k & 0xffff)
 }
 
 // Conflict records two tagged-graph edges that demand different rewrites
@@ -53,8 +77,8 @@ type Conflict struct {
 type Ruleset struct {
 	g       *topology.Graph
 	rules   map[ruleKey]int
-	maxTag  int // largest lossless tag any rule can assign or match
-	isHostP map[topology.PortID]bool
+	maxTag  int    // largest lossless tag any rule can assign or match
+	isHostP []bool // dense by PortID: port attaches a host
 }
 
 // NewRuleset returns an empty ruleset over g with the given largest
@@ -64,11 +88,11 @@ func NewRuleset(g *topology.Graph, maxTag int) *Ruleset {
 		g:       g,
 		rules:   make(map[ruleKey]int),
 		maxTag:  maxTag,
-		isHostP: make(map[topology.PortID]bool),
+		isHostP: make([]bool, g.NumPorts()),
 	}
+	var nbuf []topology.NodeID
 	for _, h := range g.Hosts() {
-		var nbuf []topology.NodeID
-		nbuf = g.Neighbors(h, nbuf)
+		nbuf = g.Neighbors(h, nbuf[:0])
 		for _, sw := range nbuf {
 			p := g.PortToPeer(sw, h)
 			if p >= 0 {
@@ -97,14 +121,15 @@ func (rs *Ruleset) IsLossless(tag int) bool { return tag >= 1 && tag <= rs.maxTa
 
 // HostFacing reports whether port num on sw attaches a host.
 func (rs *Ruleset) HostFacing(sw topology.NodeID, num int) bool {
-	return rs.isHostP[rs.g.PortOn(sw, num)]
+	p := rs.g.PortOn(sw, num)
+	return p >= 0 && int(p) < len(rs.isHostP) && rs.isHostP[p]
 }
 
 // Add installs a rule, returning the previously installed NewTag and true
 // if the key already existed with a different rewrite (the caller decides
 // the resolution; Add keeps the new value).
 func (rs *Ruleset) Add(r Rule) (old int, conflicted bool) {
-	k := ruleKey{r.Switch, r.Tag, r.In, r.Out}
+	k := packRuleKey(r.Switch, r.Tag, r.In, r.Out)
 	if prev, ok := rs.rules[k]; ok && prev != r.NewTag {
 		rs.rules[k] = r.NewTag
 		if r.NewTag > rs.maxTag {
@@ -121,7 +146,11 @@ func (rs *Ruleset) Add(r Rule) (old int, conflicted bool) {
 
 // Lookup returns the exact-match rewrite for (sw, tag, in, out).
 func (rs *Ruleset) Lookup(sw topology.NodeID, tag, in, out int) (int, bool) {
-	v, ok := rs.rules[ruleKey{sw, tag, in, out}]
+	k, ok := packRuleKeyOK(sw, tag, in, out)
+	if !ok {
+		return 0, false
+	}
+	v, ok := rs.rules[k]
 	return v, ok
 }
 
@@ -150,23 +179,18 @@ func (rs *Ruleset) Len() int { return len(rs.rules) }
 
 // Rules returns all rules in deterministic order.
 func (rs *Ruleset) Rules() []Rule {
-	out := make([]Rule, 0, len(rs.rules))
-	for k, nt := range rs.rules {
-		out = append(out, Rule{Switch: k.sw, Tag: k.tag, In: k.in, Out: k.out, NewTag: nt})
+	// The packed key compares exactly like the (switch, tag, in, out)
+	// tuple, so sorting the keys sorts the rules.
+	keys := make([]ruleKey, 0, len(rs.rules))
+	for k := range rs.rules {
+		keys = append(keys, k)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		if a.Switch != b.Switch {
-			return a.Switch < b.Switch
-		}
-		if a.Tag != b.Tag {
-			return a.Tag < b.Tag
-		}
-		if a.In != b.In {
-			return a.In < b.In
-		}
-		return a.Out < b.Out
-	})
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]Rule, len(keys))
+	for i, k := range keys {
+		sw, tag, in, o := k.unpack()
+		out[i] = Rule{Switch: sw, Tag: tag, In: in, Out: o, NewTag: rs.rules[k]}
+	}
 	return out
 }
 
@@ -188,46 +212,127 @@ func (rs *Ruleset) RulesAt(sw topology.NodeID) []Rule {
 // tags, they do not rewrite them.
 //
 // When two edges demand different rewrites for the same match (see
-// Conflict), the larger NewTag wins.
+// Conflict), the smaller NewTag wins: both candidates are >= the match
+// tag (monotonic either way) and both target vertices exist in the graph,
+// but the smaller one leaves more headroom for RepairReplay to patch the
+// losing family's continuation without minting a new tag. Conflicts on
+// host-facing egress are benign — the tag is leaving the fabric and
+// pauses nothing downstream — so only fabric conflicts are reported,
+// sorted by (switch, tag, in, out, losing rewrite).
 func DeriveRules(tg *TaggedGraph) (*Ruleset, []Conflict) {
-	rs := NewRuleset(tg.g, tg.maxTag)
-	var conflicts []Conflict
-	for _, e := range tg.Edges() {
-		fromPort := tg.g.Port(e.From.Port)
-		toPort := tg.g.Port(e.To.Port)
-		sw := fromPort.Node
-		if tg.g.Node(sw).Kind == topology.KindHost {
-			continue // hosts stamp, they do not rewrite
-		}
-		out := tg.g.PortToPeer(sw, toPort.Node)
-		if out < 0 {
-			panic(fmt.Sprintf("core: tagged edge between non-adjacent %s and %s",
-				tg.g.Node(sw).Name, tg.g.Node(toPort.Node).Name))
-		}
-		r := Rule{Switch: sw, Tag: e.From.Tag, In: fromPort.Num, Out: out, NewTag: e.To.Tag}
-		if prev, ok := rs.Lookup(sw, r.Tag, r.In, r.Out); ok && prev != r.NewTag {
-			// Keep the smaller rewrite: both candidates are >= the match
-			// tag (monotonic either way) and both target vertices exist in
-			// the graph, but the smaller one leaves more headroom for
-			// RepairReplay to patch the losing family's continuation
-			// without minting a new tag. Conflicts on host-facing egress
-			// are benign — the tag is leaving the fabric and pauses
-			// nothing downstream — so only fabric conflicts are reported.
-			benign := tg.g.Node(toPort.Node).Kind == topology.KindHost
-			if prev < r.NewTag {
-				if !benign {
-					conflicts = append(conflicts, Conflict{
-						Rule:        Rule{Switch: sw, Tag: r.Tag, In: r.In, Out: r.Out, NewTag: prev},
-						LoserNewTag: r.NewTag,
-					})
+	return deriveRulesN(tg, 0)
+}
+
+// deriveRulesN is DeriveRules with an explicit worker count. Workers walk
+// disjoint dense vertex ranges into shard-local rule maps; the fold keeps
+// the minimum rewrite per key, so the result is independent of both edge
+// iteration order and worker count.
+func deriveRulesN(tg *TaggedGraph, par int) (*Ruleset, []Conflict) {
+	type loser struct {
+		k  ruleKey
+		nt int
+	}
+	g := tg.g
+	// derive fills rules (keeping the minimum rewrite per key) and losers
+	// (every rewrite observed losing to a smaller one) from the out-edges
+	// of the dense vertex range [lo, hi).
+	derive := func(lo, hi int, rules map[ruleKey]int, losers *[]loser) {
+		for id := lo; id < hi; id++ {
+			from := tg.nodes[id]
+			fromPort := g.Port(from.Port)
+			sw := fromPort.Node
+			if g.Node(sw).Kind == topology.KindHost {
+				continue // hosts stamp, they do not rewrite
+			}
+			for i := tg.succHead[id]; i != 0; i = tg.succPool[i-1].next {
+				to := tg.nodes[tg.succPool[i-1].node]
+				toPort := g.Port(to.Port)
+				out := g.PortToPeer(sw, toPort.Node)
+				if out < 0 {
+					panic(fmt.Sprintf("core: tagged edge between non-adjacent %s and %s",
+						g.Node(sw).Name, g.Node(toPort.Node).Name))
 				}
+				k := packRuleKey(sw, from.Tag, fromPort.Num, out)
+				prev, ok := rules[k]
+				switch {
+				case !ok:
+					rules[k] = to.Tag
+				case to.Tag < prev:
+					rules[k] = to.Tag
+					*losers = append(*losers, loser{k, prev})
+				case to.Tag > prev:
+					*losers = append(*losers, loser{k, to.Tag})
+				}
+			}
+		}
+	}
+
+	rs := NewRuleset(g, tg.maxTag)
+	var losers []loser
+	w := parallel.Workers(par, len(tg.nodes))
+	if w <= 1 {
+		derive(0, len(tg.nodes), rs.rules, &losers)
+	} else {
+		shards := parallel.Shards(len(tg.nodes), w)
+		maps := make([]map[ruleKey]int, len(shards))
+		shardLosers := make([][]loser, len(shards))
+		parallel.ForEachShard(len(tg.nodes), w, func(s parallel.Shard) {
+			maps[s.Index] = make(map[ruleKey]int)
+			derive(s.Lo, s.Hi, maps[s.Index], &shardLosers[s.Index])
+		})
+		for i, m := range maps {
+			for k, nt := range m {
+				prev, ok := rs.rules[k]
+				switch {
+				case !ok:
+					rs.rules[k] = nt
+				case nt < prev:
+					rs.rules[k] = nt
+					losers = append(losers, loser{k, prev})
+				case nt > prev:
+					losers = append(losers, loser{k, nt})
+				}
+			}
+			losers = append(losers, shardLosers[i]...)
+		}
+	}
+
+	// Report fabric conflicts: one entry per distinct losing rewrite,
+	// against the final (minimum) winner, in canonical order.
+	var conflicts []Conflict
+	if len(losers) > 0 {
+		seen := make(map[loser]bool, len(losers))
+		for _, l := range losers {
+			if seen[l] {
 				continue
 			}
-			if !benign {
-				conflicts = append(conflicts, Conflict{Rule: r, LoserNewTag: prev})
+			seen[l] = true
+			sw, tag, in, out := l.k.unpack()
+			peer := g.Port(g.PortOn(sw, out)).Peer
+			if peer != topology.InvalidNode && g.Node(peer).Kind == topology.KindHost {
+				continue // benign: host-facing egress
 			}
+			conflicts = append(conflicts, Conflict{
+				Rule:        Rule{Switch: sw, Tag: tag, In: in, Out: out, NewTag: rs.rules[l.k]},
+				LoserNewTag: l.nt,
+			})
 		}
-		rs.Add(r)
+		sort.Slice(conflicts, func(i, j int) bool {
+			a, b := conflicts[i], conflicts[j]
+			if a.Rule.Switch != b.Rule.Switch {
+				return a.Rule.Switch < b.Rule.Switch
+			}
+			if a.Rule.Tag != b.Rule.Tag {
+				return a.Rule.Tag < b.Rule.Tag
+			}
+			if a.Rule.In != b.Rule.In {
+				return a.Rule.In < b.Rule.In
+			}
+			if a.Rule.Out != b.Rule.Out {
+				return a.Rule.Out < b.Rule.Out
+			}
+			return a.LoserNewTag < b.LoserNewTag
+		})
 	}
 	return rs, conflicts
 }

@@ -1,0 +1,107 @@
+package core
+
+// sandbox maintains the per-new-tag port DAG of Algorithm 2 and answers
+// its one question: can vertex port p be admitted with same-tag in-edges
+// us -> p without closing a cycle? The check is incremental — any new
+// cycle must traverse a new edge u -> p, so it exists iff p already
+// reaches some u — and runs over dense port-indexed, epoch-stamped
+// arrays: admitting a vertex allocates nothing, the uncontested fast
+// paths are O(1), and resetting the sandbox after a demotion is O(1).
+//
+// The old implementation kept the adjacency in a map of slices and
+// re-ran a map-backed DFS per candidate; the dense layout removes every
+// map operation and allocation from Algorithm 2's inner loop.
+type sandbox struct {
+	epoch    int32
+	present  []int32 // epoch when the port last joined the sandbox
+	succHead []int32 // pooled out-adjacency, valid iff present[p] == epoch
+	succPool []adjEntry
+
+	target []int32 // stamp marking the us set during one tryAdd
+	seen   []int32 // DFS visit stamps
+	stamp  int32   // shared counter for target/seen
+	stack  []int32 // DFS worklist
+}
+
+func newSandbox(numPorts int) *sandbox {
+	return &sandbox{
+		epoch:    1,
+		present:  make([]int32, numPorts),
+		succHead: make([]int32, numPorts),
+		target:   make([]int32, numPorts),
+		seen:     make([]int32, numPorts),
+	}
+}
+
+// reset empties the sandbox in O(1): stale per-port adjacency is
+// invalidated by the epoch bump and the pool is truncated in place.
+func (sb *sandbox) reset() {
+	sb.epoch++
+	sb.succPool = sb.succPool[:0]
+}
+
+// ensure admits port p with no edges yet.
+func (sb *sandbox) ensure(p int32) {
+	if sb.present[p] != sb.epoch {
+		sb.present[p] = sb.epoch
+		sb.succHead[p] = 0
+	}
+}
+
+// reachesAny reports whether any stamped target is reachable from p.
+func (sb *sandbox) reachesAny(p int32) bool {
+	sb.seen[p] = sb.stamp
+	sb.stack = append(sb.stack[:0], p)
+	for len(sb.stack) > 0 {
+		w := sb.stack[len(sb.stack)-1]
+		sb.stack = sb.stack[:len(sb.stack)-1]
+		for i := sb.succHead[w]; i != 0; i = sb.succPool[i-1].next {
+			s := sb.succPool[i-1].node
+			if sb.target[s] == sb.stamp {
+				return true
+			}
+			if sb.seen[s] != sb.stamp {
+				sb.seen[s] = sb.stamp
+				sb.stack = append(sb.stack, s)
+			}
+		}
+	}
+	return false
+}
+
+// tryAdd attempts to admit vertex port p with the candidate same-tag
+// edges us -> p, committing all of them iff the graph stays acyclic.
+// Either way the sandbox is left consistent — the transactional contract
+// Algorithm 2's accept-or-demote step needs.
+func (sb *sandbox) tryAdd(p int32, us []int32) bool {
+	if len(us) > 0 {
+		// Fast path: a port that is absent or has no out-edges reaches
+		// nothing, so only a self-loop can reject it. Every port's first
+		// appearance as a vertex head lands here.
+		if sb.present[p] != sb.epoch || sb.succHead[p] == 0 {
+			for _, u := range us {
+				if u == p {
+					return false
+				}
+			}
+		} else {
+			sb.stamp++
+			for _, u := range us {
+				if u == p {
+					return false // self-loop (cannot occur for path graphs)
+				}
+				sb.target[u] = sb.stamp
+			}
+			if sb.reachesAny(p) {
+				return false
+			}
+		}
+	}
+	for _, u := range us {
+		sb.ensure(u)
+		sb.ensure(p)
+		sb.succPool = append(sb.succPool, adjEntry{node: p, next: sb.succHead[u]})
+		sb.succHead[u] = int32(len(sb.succPool))
+	}
+	return true
+}

@@ -16,6 +16,10 @@ type Options struct {
 	// multi-class composition of §6 passes higher values for later
 	// application classes.
 	StartTag int
+	// Workers bounds the goroutines each synthesis stage fans out to:
+	// 0 means GOMAXPROCS, 1 forces the serial path. Every worker count
+	// produces the same system (see internal/parallel).
+	Workers int
 }
 
 // System is a complete synthesized Tagger deployment for one topology and
@@ -61,7 +65,7 @@ func Synthesize(g *topology.Graph, paths []routing.Path, opts Options) (*System,
 		return nil, fmt.Errorf("core: StartTag %d: synthesis tags paths from 1; use multiclass composition for higher classes", opts.StartTag)
 	}
 	s := &System{Graph: g, ELP: paths}
-	s.BruteForce = BruteForce(g, paths)
+	s.BruteForce = BruteForceN(g, paths, opts.Workers)
 	if err := s.BruteForce.Verify(); err != nil {
 		return nil, fmt.Errorf("brute-force graph: %w", err)
 	}
@@ -73,10 +77,17 @@ func Synthesize(g *topology.Graph, paths []routing.Path, opts Options) (*System,
 		}
 		tagged = s.Merged
 	}
-	s.Rules, s.Conflicts = DeriveRules(tagged)
-	s.Repairs = RepairReplay(s.Rules, paths, opts.StartTag)
+	s.Rules, s.Conflicts = deriveRulesN(tagged, opts.Workers)
+	// Build the runtime graph first: its replay doubles as the repair
+	// pre-scan. Only when some path went lossy (possible only after rule
+	// conflicts) does the serial repair pass run — followed by a rebuild
+	// under the repaired rules.
 	var violations []routing.Path
-	s.Runtime, violations = BuildRuleGraph(s.Rules, paths, opts.StartTag)
+	s.Runtime, violations = buildRuleGraphN(s.Rules, paths, opts.StartTag, opts.Workers)
+	if len(violations) > 0 {
+		s.Repairs = RepairReplay(s.Rules, paths, opts.StartTag)
+		s.Runtime, violations = buildRuleGraphN(s.Rules, paths, opts.StartTag, opts.Workers)
+	}
 	if len(violations) > 0 {
 		return nil, fmt.Errorf("core: %d ELP paths not lossless after repair (first: %s)",
 			len(violations), violations[0].String(g))

@@ -29,72 +29,143 @@ type TagEdge struct {
 	From, To TagNode
 }
 
-// TaggedGraph is the paper's G(V, E). It indexes edges both ways so the
-// verifier and Algorithm 2 can walk it efficiently.
-type TaggedGraph struct {
-	g       *topology.Graph
-	nodes   map[TagNode]struct{}
-	succ    map[TagNode][]TagNode
-	pred    map[TagNode][]TagNode
-	edgeSet map[TagEdge]struct{}
-	maxTag  int
+// adjEntry is one cell of a pooled adjacency list: the dense ID of the
+// neighbor plus the pool index (+1) of the next cell, 0 terminating.
+type adjEntry struct {
+	node int32
+	next int32
 }
+
+// TaggedGraph is the paper's G(V, E).
+//
+// Internally every (port, tag) vertex is interned to a dense int32 ID via
+// a flat port×tag table, and both adjacency directions live in two shared
+// entry pools (per-vertex singly linked lists threaded through one slice).
+// The layout makes vertex interning a single array access, adjacency
+// traversal pointer-free of maps, and graph construction allocation-lean:
+// building a graph costs O(1) allocations regardless of vertex count,
+// which is what keeps Algorithm 1/2 fast on Table 5-sized inputs. The
+// exported API is unchanged from the map-based implementation.
+type TaggedGraph struct {
+	g      *topology.Graph
+	capTag int     // largest tag the intern table can hold
+	tab    []int32 // (port*(capTag+1) + tag) -> dense ID + 1; 0 = absent
+	nodes  []TagNode
+
+	succHead []int32 // per dense ID: pool index + 1 of first successor
+	predHead []int32
+	succPool []adjEntry
+	predPool []adjEntry
+
+	numEdges int
+	maxTag   int
+}
+
+// initialTagCap is the tag capacity graphs start with; it covers every
+// merged and Clos graph in the paper so the table is rebuilt only for
+// long brute-force chains.
+const initialTagCap = 8
 
 // NewTaggedGraph returns an empty tagged graph over the given topology.
 func NewTaggedGraph(g *topology.Graph) *TaggedGraph {
 	return &TaggedGraph{
-		g:       g,
-		nodes:   make(map[TagNode]struct{}),
-		succ:    make(map[TagNode][]TagNode),
-		pred:    make(map[TagNode][]TagNode),
-		edgeSet: make(map[TagEdge]struct{}),
+		g:      g,
+		capTag: initialTagCap,
+		tab:    make([]int32, g.NumPorts()*(initialTagCap+1)),
 	}
 }
 
 // Graph returns the underlying topology.
 func (tg *TaggedGraph) Graph() *topology.Graph { return tg.g }
 
-// AddNode inserts a (port, tag) vertex.
-func (tg *TaggedGraph) AddNode(n TagNode) {
-	if _, ok := tg.nodes[n]; ok {
-		return
+// growTag rebuilds the intern table so tags up to at least t fit.
+func (tg *TaggedGraph) growTag(t int) {
+	newCap := tg.capTag * 2
+	if newCap < t {
+		newCap = t
 	}
-	tg.nodes[n] = struct{}{}
+	nt := make([]int32, tg.g.NumPorts()*(newCap+1))
+	for p := 0; p < tg.g.NumPorts(); p++ {
+		copy(nt[p*(newCap+1):p*(newCap+1)+tg.capTag+1], tg.tab[p*(tg.capTag+1):(p+1)*(tg.capTag+1)])
+	}
+	tg.tab, tg.capTag = nt, newCap
+}
+
+// intern returns the dense ID for n, creating the vertex if absent.
+func (tg *TaggedGraph) intern(n TagNode) int32 {
+	if n.Tag > tg.capTag {
+		tg.growTag(n.Tag)
+	}
+	slot := int(n.Port)*(tg.capTag+1) + n.Tag
+	if id := tg.tab[slot]; id != 0 {
+		return id - 1
+	}
+	id := int32(len(tg.nodes))
+	tg.tab[slot] = id + 1
+	tg.nodes = append(tg.nodes, n)
+	tg.succHead = append(tg.succHead, 0)
+	tg.predHead = append(tg.predHead, 0)
 	if n.Tag > tg.maxTag {
 		tg.maxTag = n.Tag
 	}
+	return id
+}
+
+// lookup returns the dense ID for n, or -1 when the vertex is absent.
+func (tg *TaggedGraph) lookup(n TagNode) int32 {
+	if n.Tag < 0 || n.Tag > tg.capTag {
+		return -1
+	}
+	return tg.tab[int(n.Port)*(tg.capTag+1)+n.Tag] - 1
+}
+
+// AddNode inserts a (port, tag) vertex.
+func (tg *TaggedGraph) AddNode(n TagNode) { tg.intern(n) }
+
+// addEdgeIDs inserts the directed edge between two interned vertices,
+// returning false when it already existed.
+func (tg *TaggedGraph) addEdgeIDs(from, to int32) bool {
+	for i := tg.succHead[from]; i != 0; i = tg.succPool[i-1].next {
+		if tg.succPool[i-1].node == to {
+			return false
+		}
+	}
+	tg.succPool = append(tg.succPool, adjEntry{node: to, next: tg.succHead[from]})
+	tg.succHead[from] = int32(len(tg.succPool))
+	tg.predPool = append(tg.predPool, adjEntry{node: from, next: tg.predHead[to]})
+	tg.predHead[to] = int32(len(tg.predPool))
+	tg.numEdges++
+	return true
 }
 
 // AddEdge inserts both endpoints and the directed edge between them.
 func (tg *TaggedGraph) AddEdge(from, to TagNode) {
-	tg.AddNode(from)
-	tg.AddNode(to)
-	e := TagEdge{from, to}
-	if _, ok := tg.edgeSet[e]; ok {
-		return
-	}
-	tg.edgeSet[e] = struct{}{}
-	tg.succ[from] = append(tg.succ[from], to)
-	tg.pred[to] = append(tg.pred[to], from)
+	tg.addEdgeIDs(tg.intern(from), tg.intern(to))
 }
 
 // HasNode reports whether the vertex exists.
-func (tg *TaggedGraph) HasNode(n TagNode) bool {
-	_, ok := tg.nodes[n]
-	return ok
-}
+func (tg *TaggedGraph) HasNode(n TagNode) bool { return tg.lookup(n) >= 0 }
 
 // HasEdge reports whether the directed edge exists.
 func (tg *TaggedGraph) HasEdge(from, to TagNode) bool {
-	_, ok := tg.edgeSet[TagEdge{from, to}]
-	return ok
+	f := tg.lookup(from)
+	t := tg.lookup(to)
+	if f < 0 || t < 0 {
+		return false
+	}
+	for i := tg.succHead[f]; i != 0; i = tg.succPool[i-1].next {
+		if tg.succPool[i-1].node == t {
+			return true
+		}
+	}
+	return false
 }
 
 // NumNodes returns |V|.
 func (tg *TaggedGraph) NumNodes() int { return len(tg.nodes) }
 
 // NumEdges returns |E|.
-func (tg *TaggedGraph) NumEdges() int { return len(tg.edgeSet) }
+func (tg *TaggedGraph) NumEdges() int { return tg.numEdges }
 
 // MaxTag returns the paper's T: the largest tag of any vertex.
 func (tg *TaggedGraph) MaxTag() int { return tg.maxTag }
@@ -102,15 +173,16 @@ func (tg *TaggedGraph) MaxTag() int { return tg.maxTag }
 // Tags returns the sorted set of distinct tags in use. Its length is the
 // number of lossless priorities the tagging system needs.
 func (tg *TaggedGraph) Tags() []int {
-	seen := map[int]bool{}
-	for n := range tg.nodes {
+	seen := make([]bool, tg.maxTag+1)
+	for _, n := range tg.nodes {
 		seen[n.Tag] = true
 	}
-	out := make([]int, 0, len(seen))
-	for t := range seen {
-		out = append(out, t)
+	var out []int
+	for t, ok := range seen {
+		if ok {
+			out = append(out, t)
+		}
 	}
-	sort.Ints(out)
 	return out
 }
 
@@ -123,18 +195,19 @@ func (tg *TaggedGraph) NumTags() int { return len(tg.Tags()) }
 // system needs: tags that appear only on plain host ingress (the final
 // hop of host-level paths) consume no switch queue.
 func (tg *TaggedGraph) SwitchTags() []int {
-	seen := map[int]bool{}
-	for n := range tg.nodes {
+	seen := make([]bool, tg.maxTag+1)
+	for _, n := range tg.nodes {
 		owner := tg.g.Port(n.Port).Node
 		if tg.g.Node(owner).Kind.Forwards() {
 			seen[n.Tag] = true
 		}
 	}
-	out := make([]int, 0, len(seen))
-	for t := range seen {
-		out = append(out, t)
+	var out []int
+	for t, ok := range seen {
+		if ok {
+			out = append(out, t)
+		}
 	}
-	sort.Ints(out)
 	return out
 }
 
@@ -143,10 +216,8 @@ func (tg *TaggedGraph) NumSwitchTags() int { return len(tg.SwitchTags()) }
 
 // Nodes returns all vertices in a deterministic order.
 func (tg *TaggedGraph) Nodes() []TagNode {
-	out := make([]TagNode, 0, len(tg.nodes))
-	for n := range tg.nodes {
-		out = append(out, n)
-	}
+	out := make([]TagNode, len(tg.nodes))
+	copy(out, tg.nodes)
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Tag != out[j].Tag {
 			return out[i].Tag < out[j].Tag
@@ -158,9 +229,12 @@ func (tg *TaggedGraph) Nodes() []TagNode {
 
 // Edges returns all edges in a deterministic order.
 func (tg *TaggedGraph) Edges() []TagEdge {
-	out := make([]TagEdge, 0, len(tg.edgeSet))
-	for e := range tg.edgeSet {
-		out = append(out, e)
+	out := make([]TagEdge, 0, tg.numEdges)
+	for id := range tg.nodes {
+		from := tg.nodes[id]
+		for i := tg.succHead[id]; i != 0; i = tg.succPool[i-1].next {
+			out = append(out, TagEdge{From: from, To: tg.nodes[tg.succPool[i-1].node]})
+		}
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -178,11 +252,47 @@ func (tg *TaggedGraph) Edges() []TagEdge {
 	return out
 }
 
-// Succ returns the successor list of n (shared slice; do not modify).
-func (tg *TaggedGraph) Succ(n TagNode) []TagNode { return tg.succ[n] }
+// Succ returns the successors of n (freshly allocated; order unspecified).
+func (tg *TaggedGraph) Succ(n TagNode) []TagNode {
+	id := tg.lookup(n)
+	if id < 0 {
+		return nil
+	}
+	var out []TagNode
+	for i := tg.succHead[id]; i != 0; i = tg.succPool[i-1].next {
+		out = append(out, tg.nodes[tg.succPool[i-1].node])
+	}
+	return out
+}
 
-// Pred returns the predecessor list of n (shared slice; do not modify).
-func (tg *TaggedGraph) Pred(n TagNode) []TagNode { return tg.pred[n] }
+// Pred returns the predecessors of n (freshly allocated; order unspecified).
+func (tg *TaggedGraph) Pred(n TagNode) []TagNode {
+	id := tg.lookup(n)
+	if id < 0 {
+		return nil
+	}
+	var out []TagNode
+	for i := tg.predHead[id]; i != 0; i = tg.predPool[i-1].next {
+		out = append(out, tg.nodes[tg.predPool[i-1].node])
+	}
+	return out
+}
+
+// mergeFrom copies every vertex and edge of other into tg. Vertices are
+// visited in other's insertion order, so merging the same shard sequence
+// always produces the same graph — the deterministic-merge step of the
+// parallel builders.
+func (tg *TaggedGraph) mergeFrom(other *TaggedGraph) {
+	ids := make([]int32, len(other.nodes))
+	for i, n := range other.nodes {
+		ids[i] = tg.intern(n)
+	}
+	for id := range other.nodes {
+		for i := other.succHead[id]; i != 0; i = other.succPool[i-1].next {
+			tg.addEdgeIDs(ids[id], ids[other.succPool[i-1].node])
+		}
+	}
+}
 
 // NodeString renders a vertex using the paper's (A_i, x) notation.
 func (tg *TaggedGraph) NodeString(n TagNode) string {
@@ -194,9 +304,10 @@ func (tg *TaggedGraph) NodeString(n TagNode) string {
 // paper's Figure 5(b)/(c): each G_k's vertices in (Switch_port, tag)
 // notation followed by the cross-tag edges.
 func (tg *TaggedGraph) Dump(w io.Writer) {
+	nodes := tg.Nodes()
 	for _, k := range tg.Tags() {
 		fmt.Fprintf(w, "G_%d:", k)
-		for _, n := range tg.Nodes() {
+		for _, n := range nodes {
 			if n.Tag == k {
 				fmt.Fprintf(w, " %s", tg.NodeString(n))
 			}
@@ -213,18 +324,6 @@ func (tg *TaggedGraph) Dump(w io.Writer) {
 	}
 }
 
-// subgraphPerTag builds, for tag k, the paper's G_k: a directed graph over
-// ports whose edges are the tagged edges with both endpoints carrying k.
-func (tg *TaggedGraph) subgraphPerTag(k int) map[topology.PortID][]topology.PortID {
-	adj := make(map[topology.PortID][]topology.PortID)
-	for e := range tg.edgeSet {
-		if e.From.Tag == k && e.To.Tag == k {
-			adj[e.From.Port] = append(adj[e.From.Port], e.To.Port)
-		}
-	}
-	return adj
-}
-
 // ingressPortID returns the global port of node `to` that faces node
 // `from`, panicking when the nodes are not adjacent: tagged graphs are
 // built from validated paths, so non-adjacency is a programming error.
@@ -235,6 +334,21 @@ func ingressPortID(g *topology.Graph, from, to topology.NodeID) topology.PortID 
 			g.Node(from).Name, g.Node(to).Name))
 	}
 	return g.PortOn(to, num)
+}
+
+// addPath walks one expected lossless path, inserting the Algorithm 1
+// vertex chain (tag = hop index) into tg.
+func (tg *TaggedGraph) addPath(r routing.Path) {
+	g := tg.g
+	var last int32
+	haveLast := false
+	for i := 1; i < len(r); i++ {
+		id := tg.intern(TagNode{Port: ingressPortID(g, r[i-1], r[i]), Tag: i})
+		if haveLast {
+			tg.addEdgeIDs(last, id)
+		}
+		last, haveLast = id, true
+	}
 }
 
 // BruteForce implements the paper's Algorithm 1: walk every expected
@@ -248,20 +362,5 @@ func ingressPortID(g *topology.Graph, from, to topology.NodeID) topology.PortID 
 // carries tag m, matching the walk-through in the paper's Figure 5 /
 // Table 3 where tag T+1 appears only at destination endpoints.
 func BruteForce(g *topology.Graph, paths []routing.Path) *TaggedGraph {
-	tg := NewTaggedGraph(g)
-	for _, r := range paths {
-		tag := 1
-		var last TagNode
-		haveLast := false
-		for i := 1; i < len(r); i++ {
-			n := TagNode{Port: ingressPortID(g, r[i-1], r[i]), Tag: tag}
-			tg.AddNode(n)
-			if haveLast {
-				tg.AddEdge(last, n)
-			}
-			last, haveLast = n, true
-			tag++
-		}
-	}
-	return tg
+	return BruteForceN(g, paths, 1)
 }

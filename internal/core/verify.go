@@ -38,12 +38,16 @@ func (tg *TaggedGraph) Verify() error {
 }
 
 func (tg *TaggedGraph) verifyMonotonic() error {
-	for e := range tg.edgeSet {
-		if e.To.Tag < e.From.Tag {
-			return &VerifyError{
-				Requirement: 2,
-				Detail: fmt.Sprintf("edge %s -> %s decreases the tag",
-					tg.NodeString(e.From), tg.NodeString(e.To)),
+	for id := range tg.nodes {
+		from := tg.nodes[id]
+		for i := tg.succHead[id]; i != 0; i = tg.succPool[i-1].next {
+			to := tg.nodes[tg.succPool[i-1].node]
+			if to.Tag < from.Tag {
+				return &VerifyError{
+					Requirement: 2,
+					Detail: fmt.Sprintf("edge %s -> %s decreases the tag",
+						tg.NodeString(from), tg.NodeString(to)),
+				}
 			}
 		}
 	}
@@ -51,18 +55,60 @@ func (tg *TaggedGraph) verifyMonotonic() error {
 }
 
 func (tg *TaggedGraph) verifyPerTagAcyclic() error {
-	for _, k := range tg.Tags() {
-		adj := tg.subgraphPerTag(k)
-		if cyc := findCycle(adj); cyc != nil {
-			var names []string
-			for _, p := range cyc {
-				port := tg.g.Port(p)
-				names = append(names, fmt.Sprintf("%s_%d", tg.g.Node(port.Node).Name, port.Num))
+	// Within one tag k a port appears in at most one vertex, so the
+	// subgraph of same-tag edges over dense vertex IDs is exactly the
+	// disjoint union of the per-tag port graphs G_k — one iterative
+	// three-color DFS that only follows same-tag successors checks every
+	// G_k in a single allocation-lean pass.
+	n := len(tg.nodes)
+	color := make([]int8, n)
+	parent := make([]int32, n)
+	type frame struct{ id, it int32 }
+	var stack []frame
+	for start := 0; start < n; start++ {
+		if color[start] != 0 {
+			continue
+		}
+		color[start] = 1
+		stack = append(stack[:0], frame{int32(start), tg.succHead[start]})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.it == 0 {
+				color[f.id] = 2
+				stack = stack[:len(stack)-1]
+				continue
 			}
-			return &VerifyError{
-				Requirement: 1,
-				Detail: fmt.Sprintf("G_%d contains cycle %s",
-					k, strings.Join(names, " -> ")),
+			e := tg.succPool[f.it-1]
+			f.it = e.next
+			v := e.node
+			if tg.nodes[v].Tag != tg.nodes[f.id].Tag {
+				continue
+			}
+			switch color[v] {
+			case 0:
+				color[v] = 1
+				parent[v] = f.id
+				stack = append(stack, frame{v, tg.succHead[v]})
+			case 1:
+				// Found a back edge f.id -> v: unwind the cycle and
+				// reverse it to follow edge direction.
+				cyc := []int32{v}
+				for cur := f.id; cur != v; cur = parent[cur] {
+					cyc = append(cyc, cur)
+				}
+				for i, j := 0, len(cyc)-1; i < j; i, j = i+1, j-1 {
+					cyc[i], cyc[j] = cyc[j], cyc[i]
+				}
+				var names []string
+				for _, id := range cyc {
+					port := tg.g.Port(tg.nodes[id].Port)
+					names = append(names, fmt.Sprintf("%s_%d", tg.g.Node(port.Node).Name, port.Num))
+				}
+				return &VerifyError{
+					Requirement: 1,
+					Detail: fmt.Sprintf("G_%d contains cycle %s",
+						tg.nodes[v].Tag, strings.Join(names, " -> ")),
+				}
 			}
 		}
 	}

@@ -11,8 +11,8 @@ package elp
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 
+	"repro/internal/parallel"
 	"repro/internal/routing"
 	"repro/internal/topology"
 )
@@ -199,10 +199,35 @@ func KBounce(g *topology.Graph, endpoints []topology.NodeID, k int, via []topolo
 // endpoints (deterministic tie-break). This is the ELP used for Jellyfish
 // and BCube scalability (Table 5): "LP is shortest paths".
 func ShortestAll(g *topology.Graph, endpoints []topology.NodeID) *Set {
+	return ShortestAllN(g, endpoints, 1)
+}
+
+// ShortestAllN is ShortestAll with an explicit worker count (0 =
+// GOMAXPROCS, 1 = serial). Sources are sharded across workers — each BFS
+// is independent — and the per-source path lists are folded into the set
+// in source order, so every worker count yields the same set.
+func ShortestAllN(g *topology.Graph, endpoints []topology.NodeID, par int) *Set {
+	w := parallel.Workers(par, len(endpoints))
+	if w <= 1 {
+		s := NewSet()
+		var sc bfsScratch
+		for _, a := range endpoints {
+			// One BFS per source covers all destinations.
+			for _, p := range shortestTreePaths(g, a, endpoints, &sc) {
+				s.MustAdd(g, p)
+			}
+		}
+		return s
+	}
+	perSrc := make([][]routing.Path, len(endpoints))
+	parallel.ForEachShard(len(endpoints), w, func(sh parallel.Shard) {
+		var sc bfsScratch
+		for i := sh.Lo; i < sh.Hi; i++ {
+			perSrc[i] = shortestTreePaths(g, endpoints[i], endpoints, &sc)
+		}
+	})
 	s := NewSet()
-	for _, a := range endpoints {
-		// One BFS per source covers all destinations.
-		paths := shortestTreePaths(g, a, endpoints)
+	for _, paths := range perSrc {
 		for _, p := range paths {
 			s.MustAdd(g, p)
 		}
@@ -228,28 +253,49 @@ func ShortestAllECMP(g *topology.Graph, endpoints []topology.NodeID, limit int) 
 	return s
 }
 
+// bfsScratch holds the per-source BFS state so repeated calls (one per
+// source, across the whole endpoint set) reuse the same backing arrays.
+type bfsScratch struct {
+	dist   []int32
+	parent []topology.NodeID
+	queue  []topology.NodeID
+	nbuf   []topology.NodeID
+}
+
 // shortestTreePaths extracts one shortest path from src to each other
 // endpoint using a single BFS with deterministic parent choice.
-func shortestTreePaths(g *topology.Graph, src topology.NodeID, endpoints []topology.NodeID) []routing.Path {
+func shortestTreePaths(g *topology.Graph, src topology.NodeID, endpoints []topology.NodeID, sc *bfsScratch) []routing.Path {
 	n := g.NumNodes()
-	dist := make([]int, n)
-	parent := make([]topology.NodeID, n)
+	if cap(sc.dist) < n {
+		sc.dist = make([]int32, n)
+		sc.parent = make([]topology.NodeID, n)
+	}
+	dist, parent := sc.dist[:n], sc.parent[:n]
 	for i := range dist {
 		dist[i] = -1
 		parent[i] = topology.InvalidNode
 	}
 	dist[src] = 0
-	queue := []topology.NodeID{src}
-	var nbuf []topology.NodeID
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
+	queue := append(sc.queue[:0], src)
+	nbuf := sc.nbuf
+	for qi := 0; qi < len(queue); qi++ {
+		u := queue[qi]
 		if u != src && g.Node(u).Kind == topology.KindHost {
 			continue
 		}
 		nbuf = g.Neighbors(u, nbuf[:0])
-		// Deterministic: ascending neighbor IDs.
-		sort.Slice(nbuf, func(a, b int) bool { return nbuf[a] < nbuf[b] })
+		// Deterministic: ascending neighbor IDs. Insertion sort — the
+		// lists are port-count sized and this avoids sort.Slice's
+		// reflection machinery in the innermost BFS loop.
+		for i := 1; i < len(nbuf); i++ {
+			v := nbuf[i]
+			j := i - 1
+			for j >= 0 && nbuf[j] > v {
+				nbuf[j+1] = nbuf[j]
+				j--
+			}
+			nbuf[j+1] = v
+		}
 		for _, v := range nbuf {
 			if dist[v] == -1 {
 				dist[v] = dist[u] + 1
@@ -258,18 +304,28 @@ func shortestTreePaths(g *topology.Graph, src topology.NodeID, endpoints []topol
 			}
 		}
 	}
-	var out []routing.Path
+	sc.queue, sc.nbuf = queue, nbuf
+	// All paths of one source share a single backing arena: two
+	// allocations per source instead of one per destination.
+	total := 0
+	count := 0
+	for _, b := range endpoints {
+		if b != src && dist[b] >= 0 {
+			total += int(dist[b]) + 1
+			count++
+		}
+	}
+	arena := make([]topology.NodeID, total)
+	out := make([]routing.Path, 0, count)
+	off := 0
 	for _, b := range endpoints {
 		if b == src || dist[b] < 0 {
 			continue
 		}
-		rev := routing.Path{b}
-		for cur := b; cur != src; cur = parent[cur] {
-			rev = append(rev, parent[cur])
-		}
-		p := make(routing.Path, len(rev))
-		for i, nid := range rev {
-			p[len(rev)-1-i] = nid
+		p := routing.Path(arena[off : off+int(dist[b])+1])
+		off += int(dist[b]) + 1
+		for cur, i := b, int(dist[b]); i >= 0; cur, i = parent[cur], i-1 {
+			p[i] = cur
 		}
 		out = append(out, p)
 	}

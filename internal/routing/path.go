@@ -9,7 +9,7 @@
 package routing
 
 import (
-	"fmt"
+	"strconv"
 	"strings"
 
 	"repro/internal/topology"
@@ -42,8 +42,20 @@ func (p Path) Dst() topology.NodeID {
 	return p[len(p)-1]
 }
 
-// LoopFree reports whether no node repeats.
+// LoopFree reports whether no node repeats. Paths are almost always a
+// handful of hops, where the quadratic scan beats building a set; the
+// set is kept for pathological lengths.
 func (p Path) LoopFree() bool {
+	if len(p) <= 24 {
+		for i := 1; i < len(p); i++ {
+			for j := 0; j < i; j++ {
+				if p[i] == p[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
 	seen := make(map[topology.NodeID]bool, len(p))
 	for _, n := range p {
 		if seen[n] {
@@ -107,15 +119,18 @@ func (p Path) Equal(q Path) bool {
 }
 
 // Key returns a canonical string form usable as a map key for dedup.
+// Node IDs are appended with strconv into a stack buffer, so the only
+// allocation is the returned string itself.
 func (p Path) Key() string {
-	var b strings.Builder
+	var a [96]byte
+	buf := a[:0]
 	for i, n := range p {
 		if i > 0 {
-			b.WriteByte(',')
+			buf = append(buf, ',')
 		}
-		fmt.Fprintf(&b, "%d", n)
+		buf = strconv.AppendInt(buf, int64(n), 10)
 	}
-	return b.String()
+	return string(buf)
 }
 
 // String renders the path with node names, e.g. "T3>L4>S2>L1".

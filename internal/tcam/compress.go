@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/parallel"
 	"repro/internal/topology"
 )
 
@@ -40,6 +41,65 @@ func (e *Entry) Matches(tag, in, out int) bool {
 // only merges entries whose InPort sets are identical, so the union of
 // cross products is again exact.
 func Compress(rules []core.Rule) []Entry {
+	return CompressN(rules, 1)
+}
+
+// CompressN is Compress with an explicit worker count (0 = GOMAXPROCS,
+// 1 = serial). Both stages only ever merge rules of the same switch and
+// emit entries in ascending switch order, so when the input is grouped by
+// switch (Ruleset.Rules() order) it can be cut at switch boundaries,
+// compressed chunk-wise in parallel, and concatenated — identical output
+// for every worker count. Ungrouped input falls back to one chunk.
+func CompressN(rules []core.Rule, par int) []Entry {
+	w := parallel.Workers(par, len(rules))
+	chunks := switchChunks(rules, w)
+	if len(chunks) <= 1 {
+		return compressChunk(rules)
+	}
+	outs := make([][]Entry, len(chunks))
+	parallel.ForEachShard(len(chunks), len(chunks), func(s parallel.Shard) {
+		for i := s.Lo; i < s.Hi; i++ {
+			outs[i] = compressChunk(chunks[i])
+		}
+	})
+	var res []Entry
+	for _, o := range outs {
+		res = append(res, o...)
+	}
+	return res
+}
+
+// switchChunks cuts rules into at most want contiguous chunks of
+// near-equal size without splitting any switch across chunks. It returns
+// a single chunk when the input is not grouped by switch.
+func switchChunks(rules []core.Rule, want int) [][]core.Rule {
+	if want <= 1 || len(rules) == 0 {
+		return [][]core.Rule{rules}
+	}
+	for i := 1; i < len(rules); i++ {
+		if rules[i].Switch < rules[i-1].Switch {
+			return [][]core.Rule{rules}
+		}
+	}
+	target := (len(rules) + want - 1) / want
+	var chunks [][]core.Rule
+	lo := 0
+	for lo < len(rules) {
+		hi := lo + target
+		if hi >= len(rules) {
+			hi = len(rules)
+		} else {
+			for hi < len(rules) && rules[hi].Switch == rules[hi-1].Switch {
+				hi++
+			}
+		}
+		chunks = append(chunks, rules[lo:hi])
+		lo = hi
+	}
+	return chunks
+}
+
+func compressChunk(rules []core.Rule) []Entry {
 	// Stage 1: group by (switch, tag, out, newtag), merge InPorts.
 	type outKey struct {
 		sw       topology.NodeID

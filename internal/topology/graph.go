@@ -132,6 +132,15 @@ type Graph struct {
 	links  []Link
 	ports  []Port
 	byName map[string]NodeID
+	// peerPort maps a (node, peer) pair to the lowest-numbered port on
+	// node that faces peer. It makes PortToPeer and LinkBetween O(1);
+	// both are on the per-hop hot path of tagged-graph synthesis.
+	peerPort map[uint64]PortID
+}
+
+// peerKey packs an ordered (node, peer) pair for the adjacency index.
+func peerKey(n, peer NodeID) uint64 {
+	return uint64(uint32(n))<<32 | uint64(uint32(peer))
 }
 
 // New returns an empty graph.
@@ -183,6 +192,18 @@ func (g *Graph) Connect(a, b NodeID) LinkID {
 	g.ports[pa].Link = lid
 	g.ports[pb].Peer = a
 	g.ports[pb].Link = lid
+	if g.peerPort == nil {
+		g.peerPort = make(map[uint64]PortID)
+	}
+	// Ports are allocated in ascending order, so only the first link
+	// between a pair enters the index: parallel links keep returning the
+	// lowest-numbered port, as the linear scans did.
+	if _, dup := g.peerPort[peerKey(a, b)]; !dup {
+		g.peerPort[peerKey(a, b)] = pa
+	}
+	if _, dup := g.peerPort[peerKey(b, a)]; !dup {
+		g.peerPort[peerKey(b, a)] = pb
+	}
 	return lid
 }
 
@@ -235,10 +256,8 @@ func (g *Graph) PortCount(n NodeID) int { return len(g.nodes[n].Ports) }
 // the nodes are not adjacent (failed links still count as adjacency for
 // port lookup; use LinkBetween to check health).
 func (g *Graph) PortToPeer(n, peer NodeID) int {
-	for _, pid := range g.nodes[n].Ports {
-		if g.ports[pid].Peer == peer {
-			return g.ports[pid].Num
-		}
+	if pid, ok := g.peerPort[peerKey(n, peer)]; ok {
+		return g.ports[pid].Num
 	}
 	return -1
 }
@@ -246,10 +265,9 @@ func (g *Graph) PortToPeer(n, peer NodeID) int {
 // LinkBetween returns the link connecting a and b, or nil if none exists.
 // If multiple parallel links exist, the lowest-numbered one is returned.
 func (g *Graph) LinkBetween(a, b NodeID) *Link {
-	for _, pid := range g.nodes[a].Ports {
-		p := &g.ports[pid]
-		if p.Peer == b && p.Link != InvalidLink {
-			return &g.links[p.Link]
+	if pid, ok := g.peerPort[peerKey(a, b)]; ok {
+		if l := g.ports[pid].Link; l != InvalidLink {
+			return &g.links[l]
 		}
 	}
 	return nil

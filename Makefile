@@ -5,14 +5,15 @@ BENCH_OUT ?= BENCH_$(shell date +%F).json
 # benchmarks and fails on a >15% time regression against that snapshot.
 BENCH_BASELINE ?=
 
-.PHONY: all check build vet test determinism race bench benchdiff benchgate fuzz cover examples experiments clean
+.PHONY: all check build vet test determinism race bench benchdiff benchgate fuzz fuzz-smoke cover examples experiments clean
 
 all: check
 
 # check is the pre-merge gate: build, vet, tests, the parallel-determinism
-# contract under the race detector, the full race suite, and (opt-in via
-# BENCH_BASELINE) the benchmark regression gate.
-check: build vet test determinism race benchgate
+# contract under the race detector, the full race suite, the bounded
+# differential fuzz smoke, and (opt-in via BENCH_BASELINE) the benchmark
+# regression gate.
+check: build vet test determinism race fuzz-smoke benchgate
 
 build:
 	$(GO) build ./...
@@ -56,6 +57,16 @@ fuzz:
 	$(GO) test -fuzz FuzzDecodeRoCEv2 -fuzztime 30s ./internal/wire/
 	$(GO) test -fuzz FuzzDecodeIPv4 -fuzztime 30s ./internal/wire/
 	$(GO) test -fuzz FuzzDecodePFC -fuzztime 30s ./internal/wire/
+	$(GO) test -fuzz FuzzRunCase -fuzztime 60s ./internal/check/
+	$(GO) test -fuzz FuzzShrinkConvergence -fuzztime 30s ./internal/check/
+
+# Bounded differential fuzzing for the pre-merge gate: a few seconds of
+# native coverage-guided fuzzing over the check battery plus a seeded
+# taggerfuzz sweep of every topology family. Failing inputs shrink to
+# runnable repro tests under internal/check/testdata/fuzz-corpus/.
+fuzz-smoke:
+	$(GO) test -fuzz FuzzRunCase -fuzztime 5s ./internal/check/
+	$(GO) run ./cmd/taggerfuzz -seeds 25 -topo all -q
 
 cover:
 	$(GO) test -cover ./...

@@ -1,0 +1,102 @@
+// Command taggerfuzz drives the differential verification battery in
+// internal/check over seeded random topologies. Each seed becomes a
+// bounded Clos, Jellyfish or BCube instance; the battery cross-checks the
+// synthesis algorithms, the serial and parallel pipelines, and the
+// compressed and uncompressed TCAM images against the independent oracle.
+//
+// On a failure the driver greedily shrinks the case to a minimal
+// configuration that still fails and writes a runnable Go test to the
+// corpus directory, so the divergence survives as a regression test:
+//
+//	taggerfuzz -seeds 200 -topo all
+//	taggerfuzz -topo jellyfish -seed 1337 -seeds 1   # replay one seed
+//
+// The exit status is the number of failing seeds (capped at 125), so CI
+// can gate on it directly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/check"
+)
+
+func main() {
+	var (
+		seeds = flag.Int("seeds", 50, "seeds to run per topology family")
+		base  = flag.Int64("seed", 1, "first seed; seeds run [seed, seed+seeds)")
+		topo  = flag.String("topo", "all", "topology family: clos, jellyfish, bcube or all")
+		out   = flag.String("out", filepath.Join("internal", "check", "testdata", "fuzz-corpus"),
+			"directory for shrunk repro tests")
+		quiet = flag.Bool("q", false, "only report failures and the final tally")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+
+	topos := check.Topos()
+	if *topo != "all" {
+		found := false
+		for _, t := range topos {
+			if t == *topo {
+				topos, found = []string{t}, true
+				break
+			}
+		}
+		if !found {
+			log.Fatalf("taggerfuzz: unknown -topo %q (want clos, jellyfish, bcube or all)", *topo)
+		}
+	}
+
+	failures := 0
+	for _, t := range topos {
+		for i := 0; i < *seeds; i++ {
+			seed := *base + int64(i)
+			c := check.GenCase(t, seed)
+			err := check.RunCase(c)
+			if err == nil {
+				if !*quiet {
+					fmt.Printf("ok   %s\n", c)
+				}
+				continue
+			}
+			failures++
+			fmt.Printf("FAIL %s\n     %v\n", c, err)
+			min := check.Shrink(c, func(c check.Case) bool { return check.RunCase(c) != nil })
+			minErr := check.RunCase(min)
+			if minErr == nil {
+				// Shrink guarantees the returned case fails its predicate;
+				// a pass here means the failure is flaky — report the
+				// original instead of emitting a lying repro.
+				min, minErr = c, err
+			}
+			fmt.Printf("     shrunk to %s\n", min)
+			path := filepath.Join(*out, fmt.Sprintf("repro_%s_test.go", check.ReproName(min)))
+			if werr := writeRepro(path, check.ReproSource(min, minErr)); werr != nil {
+				log.Printf("taggerfuzz: writing repro: %v", werr)
+			} else {
+				fmt.Printf("     repro written to %s\n", path)
+			}
+		}
+	}
+
+	if failures > 0 {
+		fmt.Printf("taggerfuzz: %d failing seed(s)\n", failures)
+		if failures > 125 {
+			failures = 125
+		}
+		os.Exit(failures)
+	}
+	fmt.Printf("taggerfuzz: all %d seed(s) clean across %d topolog%s\n",
+		*seeds, len(topos), map[bool]string{true: "y", false: "ies"}[len(topos) == 1])
+}
+
+func writeRepro(path, src string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(path, []byte(src), 0o644)
+}

@@ -6,12 +6,19 @@
 //
 //	taggersim -exp fig10 -trace /tmp/fig10.jsonl
 //	taggertrace /tmp/fig10.jsonl
+//
+// Malformed or truncated lines (a crashed simulator leaves a partial last
+// line; log shippers sometimes interleave writes) are skipped and counted,
+// not fatal: the remaining events still tell the story.
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"sort"
@@ -20,6 +27,132 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/sim"
 )
+
+type linkKey struct{ node, peer string }
+
+// traceSummary is everything analyze extracts from one trace stream.
+type traceSummary struct {
+	Events        int // well-formed events
+	Skipped       int // malformed/truncated lines
+	Pauses        map[linkKey]int
+	Resumes       map[linkKey]int
+	DropByReason  map[string]int
+	DropByFlow    map[string]int
+	Demotes       int
+	Deadlocks     int
+	FirstDeadlock int64 // simulated ns of first onset, -1 if none
+	FirstCycle    []string
+	LastT         int64
+}
+
+// analyze folds a JSONL trace stream into a summary. Each line is decoded
+// independently so one bad line costs one event, not the whole run.
+func analyze(r io.Reader) (*traceSummary, error) {
+	s := &traceSummary{
+		Pauses:        map[linkKey]int{},
+		Resumes:       map[linkKey]int{},
+		DropByReason:  map[string]int{},
+		DropByFlow:    map[string]int{},
+		FirstDeadlock: -1,
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev sim.TraceEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			s.Skipped++
+			continue
+		}
+		s.Events++
+		if ev.T > s.LastT {
+			s.LastT = ev.T
+		}
+		switch ev.Kind {
+		case "pause":
+			s.Pauses[linkKey{ev.Node, ev.Peer}]++
+		case "resume":
+			s.Resumes[linkKey{ev.Node, ev.Peer}]++
+		case "drop":
+			s.DropByReason[ev.Reason]++
+			s.DropByFlow[ev.Flow]++
+		case "demote":
+			s.Demotes++
+		case "deadlock":
+			s.Deadlocks++
+			if s.FirstDeadlock < 0 {
+				s.FirstDeadlock = ev.T
+				s.FirstCycle = ev.Cycle
+			}
+		}
+	}
+	return s, sc.Err()
+}
+
+func (s *traceSummary) report(w io.Writer, top int) {
+	fmt.Fprintf(w, "%d events over %v of simulated time", s.Events, time.Duration(s.LastT))
+	if s.Skipped > 0 {
+		fmt.Fprintf(w, " (%d malformed lines skipped)", s.Skipped)
+	}
+	fmt.Fprint(w, "\n\n")
+
+	if s.FirstDeadlock >= 0 {
+		fmt.Fprintf(w, "DEADLOCK onset at %v (%d onsets total); first cycle:\n",
+			time.Duration(s.FirstDeadlock), s.Deadlocks)
+		for _, e := range s.FirstCycle {
+			fmt.Fprintf(w, "  %s\n", e)
+		}
+		fmt.Fprintln(w)
+	} else {
+		fmt.Fprint(w, "no deadlock\n\n")
+	}
+
+	type row struct {
+		k       linkKey
+		p, r    int
+		pending int
+	}
+	var rows []row
+	for k, p := range s.Pauses {
+		rows = append(rows, row{k, p, s.Resumes[k], p - s.Resumes[k]})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].p != rows[j].p {
+			return rows[i].p > rows[j].p
+		}
+		if rows[i].k.node != rows[j].k.node {
+			return rows[i].k.node < rows[j].k.node
+		}
+		return rows[i].k.peer < rows[j].k.peer
+	})
+	if len(rows) > top {
+		rows = rows[:top]
+	}
+	t := metrics.NewTable("Pauser", "Paused peer", "Pauses", "Resumes", "Still paused")
+	for _, r := range rows {
+		t.AddRow(r.k.node, r.k.peer, r.p, r.r, r.pending)
+	}
+	fmt.Fprintf(w, "pause pressure (top %d links):\n%s\n", top, t.String())
+
+	if len(s.DropByReason) > 0 {
+		dt := metrics.NewTable("Drop reason", "Count")
+		reasons := make([]string, 0, len(s.DropByReason))
+		for r := range s.DropByReason {
+			reasons = append(reasons, r)
+		}
+		sort.Strings(reasons)
+		for _, r := range reasons {
+			dt.AddRow(r, s.DropByReason[r])
+		}
+		fmt.Fprintf(w, "drops:\n%s", dt.String())
+	}
+	if s.Demotes > 0 {
+		fmt.Fprintf(w, "lossless-to-lossy demotions: %d\n", s.Demotes)
+	}
+}
 
 func main() {
 	log.SetFlags(0)
@@ -36,99 +169,12 @@ func main() {
 	}
 	defer f.Close()
 
-	type linkKey struct{ node, peer string }
-	pauses := map[linkKey]int{}
-	resumes := map[linkKey]int{}
-	dropByReason := map[string]int{}
-	dropByFlow := map[string]int{}
-	demotes := 0
-	var events, deadlocks int
-	var firstDeadlock int64 = -1
-	var firstCycle []string
-	var lastT int64
-
-	dec := json.NewDecoder(f)
-	for dec.More() {
-		var ev sim.TraceEvent
-		if err := dec.Decode(&ev); err != nil {
-			log.Fatalf("line %d: %v", events+1, err)
-		}
-		events++
-		if ev.T > lastT {
-			lastT = ev.T
-		}
-		switch ev.Kind {
-		case "pause":
-			pauses[linkKey{ev.Node, ev.Peer}]++
-		case "resume":
-			resumes[linkKey{ev.Node, ev.Peer}]++
-		case "drop":
-			dropByReason[ev.Reason]++
-			dropByFlow[ev.Flow]++
-		case "demote":
-			demotes++
-		case "deadlock":
-			deadlocks++
-			if firstDeadlock < 0 {
-				firstDeadlock = ev.T
-				firstCycle = ev.Cycle
-			}
-		}
+	s, err := analyze(f)
+	if err != nil {
+		log.Fatal(err)
 	}
-
-	fmt.Printf("%d events over %v of simulated time\n\n", events, time.Duration(lastT))
-
-	if firstDeadlock >= 0 {
-		fmt.Printf("DEADLOCK onset at %v (%d onsets total); first cycle:\n",
-			time.Duration(firstDeadlock), deadlocks)
-		for _, e := range firstCycle {
-			fmt.Printf("  %s\n", e)
-		}
-		fmt.Println()
-	} else {
-		fmt.Print("no deadlock\n\n")
-	}
-
-	type row struct {
-		k       linkKey
-		p, r    int
-		pending int
-	}
-	var rows []row
-	for k, p := range pauses {
-		rows = append(rows, row{k, p, resumes[k], p - resumes[k]})
-	}
-	sort.Slice(rows, func(i, j int) bool {
-		if rows[i].p != rows[j].p {
-			return rows[i].p > rows[j].p
-		}
-		if rows[i].k.node != rows[j].k.node {
-			return rows[i].k.node < rows[j].k.node
-		}
-		return rows[i].k.peer < rows[j].k.peer
-	})
-	if len(rows) > *top {
-		rows = rows[:*top]
-	}
-	t := metrics.NewTable("Pauser", "Paused peer", "Pauses", "Resumes", "Still paused")
-	for _, r := range rows {
-		t.AddRow(r.k.node, r.k.peer, r.p, r.r, r.pending)
-	}
-	fmt.Printf("pause pressure (top %d links):\n%s\n", *top, t.String())
-
-	if len(dropByReason) > 0 {
-		dt := metrics.NewTable("Drop reason", "Count")
-		reasons := make([]string, 0, len(dropByReason))
-		for r := range dropByReason {
-			reasons = append(reasons, r)
-		}
-		sort.Strings(reasons)
-		for _, r := range reasons {
-			dt.AddRow(r, dropByReason[r])
-		}
-		fmt.Printf("drops:\n%s", dt.String())
-	}
-	if demotes > 0 {
-		fmt.Printf("lossless-to-lossy demotions: %d\n", demotes)
+	s.report(os.Stdout, *top)
+	if s.Skipped > 0 {
+		log.Printf("warning: skipped %d malformed lines", s.Skipped)
 	}
 }

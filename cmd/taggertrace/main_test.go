@@ -1,0 +1,79 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAnalyzeSkipsMalformedLines pins the fix for the abort-on-bad-line
+// bug: the old decoder log.Fatal'd on the first malformed line, so a
+// truncated trace (crashed simulator, interleaved shipper writes) yielded
+// no analysis at all. Bad lines must be skipped and counted while every
+// well-formed event before AND after them is still folded in.
+func TestAnalyzeSkipsMalformedLines(t *testing.T) {
+	trace := strings.Join([]string{
+		`{"t":10,"kind":"pause","node":"T1","peer":"L1","prio":1}`,
+		`{"t":15,"kind":"drop","node":"T1","flow":"f1","reason":"ttl"}`,
+		`not json at all`,
+		`{"t":20,"kind":"resume","node":"T1","peer":"L1"`, // truncated
+		``, // blank lines are not events and not errors
+		`{"t":30,"kind":"resume","node":"T1","peer":"L1","prio":1}`,
+		`{"t":40,"kind":"deadlock","node":"L1","cycle":["L1->T1","T1->L1"]}`,
+		`{"t":45,"kind":"demote","node":"T1","flow":"f2"}`,
+		`{"t":50,"kind":"pau`, // truncated final line
+	}, "\n")
+
+	s, err := analyze(strings.NewReader(trace))
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	if s.Skipped != 3 {
+		t.Errorf("Skipped = %d, want 3", s.Skipped)
+	}
+	if s.Events != 5 {
+		t.Errorf("Events = %d, want 5", s.Events)
+	}
+	k := linkKey{"T1", "L1"}
+	if s.Pauses[k] != 1 || s.Resumes[k] != 1 {
+		t.Errorf("pauses/resumes = %d/%d, want 1/1", s.Pauses[k], s.Resumes[k])
+	}
+	if s.DropByReason["ttl"] != 1 || s.Demotes != 1 || s.Deadlocks != 1 {
+		t.Errorf("drops/demotes/deadlocks = %d/%d/%d",
+			s.DropByReason["ttl"], s.Demotes, s.Deadlocks)
+	}
+	if s.FirstDeadlock != 40 || len(s.FirstCycle) != 2 {
+		t.Errorf("first deadlock = %d cycle %v", s.FirstDeadlock, s.FirstCycle)
+	}
+	if s.LastT != 45 {
+		t.Errorf("LastT = %d, want 45", s.LastT)
+	}
+
+	var b strings.Builder
+	s.report(&b, 10)
+	out := b.String()
+	if !strings.Contains(out, "3 malformed lines skipped") {
+		t.Errorf("report does not surface the skip count:\n%s", out)
+	}
+	if !strings.Contains(out, "DEADLOCK onset at 40ns") {
+		t.Errorf("report lost the deadlock:\n%s", out)
+	}
+}
+
+func TestAnalyzeCleanTrace(t *testing.T) {
+	trace := `{"t":5,"kind":"pause","node":"A","peer":"B","prio":2}` + "\n"
+	s, err := analyze(strings.NewReader(trace))
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	if s.Skipped != 0 || s.Events != 1 {
+		t.Errorf("skipped/events = %d/%d, want 0/1", s.Skipped, s.Events)
+	}
+	var b strings.Builder
+	s.report(&b, 10)
+	if strings.Contains(b.String(), "skipped") {
+		t.Errorf("clean trace must not mention skips:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), "no deadlock") {
+		t.Errorf("missing no-deadlock line:\n%s", b.String())
+	}
+}

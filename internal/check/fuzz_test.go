@@ -1,0 +1,60 @@
+package check
+
+import "testing"
+
+// FuzzRunCase is the native entry point to the differential battery: Go's
+// fuzzer mutates (family selector, seed), GenCase maps them into a
+// bounded topology + ELP instance, and RunCase cross-checks every layer.
+// Any reported input IS a failing Case — re-derive it with GenCase and
+// hand it to Shrink/ReproSource (what cmd/taggerfuzz automates).
+func FuzzRunCase(f *testing.F) {
+	for seed := int64(1); seed <= 3; seed++ {
+		for idx := range Topos() {
+			f.Add(uint8(idx), seed)
+		}
+	}
+	topos := Topos()
+	f.Fuzz(func(t *testing.T, topoIdx uint8, seed int64) {
+		c := GenCase(topos[int(topoIdx)%len(topos)], seed)
+		if !c.validConfig() {
+			t.Fatalf("GenCase emitted an invalid config: %s", c)
+		}
+		if err := RunCase(c); err != nil {
+			t.Fatalf("differential failure (shrink with: taggerfuzz -topo %s -seed %d -seeds 1): %v",
+				c.Topo, c.Seed, err)
+		}
+	})
+}
+
+// FuzzShrinkConvergence: for any synthetic threshold predicate the
+// shrinker must terminate, keep the case failing, and never probe an
+// invalid configuration.
+func FuzzShrinkConvergence(f *testing.F) {
+	f.Add(int64(7), 3, 4)
+	f.Add(int64(11), 1, 0)
+	f.Fuzz(func(t *testing.T, seed int64, podFloor, extraFloor int) {
+		if podFloor < 1 || podFloor > 4 || extraFloor < 0 || extraFloor > 6 {
+			t.Skip()
+		}
+		c := GenCase("clos", seed)
+		if c.Pods < podFloor {
+			c.Pods = podFloor
+		}
+		if c.ExtraPaths < extraFloor {
+			c.ExtraPaths = extraFloor
+		}
+		fails := func(c Case) bool {
+			if !c.validConfig() {
+				t.Fatalf("invalid probe: %s", c)
+			}
+			return c.Pods >= podFloor && c.ExtraPaths >= extraFloor
+		}
+		got := Shrink(c, fails)
+		if !fails(got) {
+			t.Fatalf("shrunk case stopped failing: %s", got)
+		}
+		if got.Pods > c.Pods || got.ExtraPaths > c.ExtraPaths {
+			t.Fatalf("shrinker grew the case: %s -> %s", c, got)
+		}
+	})
+}

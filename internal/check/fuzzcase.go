@@ -1,0 +1,297 @@
+package check
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/elp"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// Case is one self-contained fuzz input: a topology family with its
+// knobs, the ELP recipe, and the parallelism to differentiate against.
+// Everything is plain exported ints so a failing case round-trips through
+// the emitted repro test verbatim.
+type Case struct {
+	Topo string // "clos", "jellyfish" or "bcube"
+	Seed int64  // drives random wiring, extra paths and deviations
+
+	// Clos knobs.
+	Pods, ToRsPerPod, LeafsPerPod, Spines, HostsPerToR int
+	MaxBounces                                         int
+
+	// Jellyfish knobs.
+	Switches, Ports, NetPorts int
+
+	// BCube knobs.
+	N, K int
+
+	ExtraPaths int // seeded random paths added to the base ELP
+	Deviations int // seeded off-ELP paths replayed through the pipelines
+	Workers    int // parallel worker count diffed against serial
+}
+
+func (c Case) String() string {
+	switch c.Topo {
+	case "clos":
+		return fmt.Sprintf("clos{pods=%d tors=%d leafs=%d spines=%d hosts=%d k=%d extra=%d dev=%d par=%d seed=%d}",
+			c.Pods, c.ToRsPerPod, c.LeafsPerPod, c.Spines, c.HostsPerToR, c.MaxBounces, c.ExtraPaths, c.Deviations, c.Workers, c.Seed)
+	case "jellyfish":
+		return fmt.Sprintf("jellyfish{sw=%d ports=%d net=%d extra=%d dev=%d par=%d seed=%d}",
+			c.Switches, c.Ports, c.NetPorts, c.ExtraPaths, c.Deviations, c.Workers, c.Seed)
+	case "bcube":
+		return fmt.Sprintf("bcube{n=%d k=%d extra=%d dev=%d par=%d seed=%d}",
+			c.N, c.K, c.ExtraPaths, c.Deviations, c.Workers, c.Seed)
+	}
+	return fmt.Sprintf("case{topo=%q seed=%d}", c.Topo, c.Seed)
+}
+
+// Topos lists the supported topology families.
+func Topos() []string { return []string{"clos", "jellyfish", "bcube"} }
+
+// GenCase derives a case from a seed, keeping every knob inside bounds
+// where a full differential run stays sub-second: the fuzz loop's value
+// is input diversity, not instance size.
+func GenCase(topo string, seed int64) Case {
+	rng := rand.New(rand.NewSource(seed))
+	c := Case{
+		Topo:       topo,
+		Seed:       seed,
+		ExtraPaths: rng.Intn(6),
+		Deviations: 4 + rng.Intn(8),
+		Workers:    2 + rng.Intn(3),
+	}
+	switch topo {
+	case "clos":
+		c.Pods = 1 + rng.Intn(3)
+		c.ToRsPerPod = 1 + rng.Intn(2)
+		c.LeafsPerPod = 1 + rng.Intn(2)
+		c.Spines = 1 + rng.Intn(3)
+		c.HostsPerToR = rng.Intn(3)
+		c.MaxBounces = 1 + rng.Intn(2)
+		if c.Pods*c.ToRsPerPod < 2 {
+			c.ToRsPerPod = 2 // at least one endpoint pair
+		}
+	case "jellyfish":
+		c.Switches = 4 + rng.Intn(7)
+		c.NetPorts = 2 + rng.Intn(2)
+		if c.NetPorts >= c.Switches {
+			c.NetPorts = c.Switches - 1
+		}
+		c.Ports = c.NetPorts + 1 + rng.Intn(3)
+	case "bcube":
+		c.N = 2 + rng.Intn(2)
+		c.K = 1
+		if c.N == 2 && rng.Intn(2) == 0 {
+			c.K = 2
+		}
+	}
+	return c
+}
+
+// validConfig reports whether the knobs describe a buildable instance
+// with at least one endpoint pair. The shrinker consults it so greedy
+// descent cannot wander from a genuine divergence into a trivially
+// impossible configuration whose build error also "fails".
+func (c Case) validConfig() bool {
+	switch c.Topo {
+	case "clos":
+		return c.Pods >= 1 && c.ToRsPerPod >= 1 && c.LeafsPerPod >= 1 &&
+			c.Spines >= 1 && c.HostsPerToR >= 0 && c.MaxBounces >= 1 &&
+			c.Pods*c.ToRsPerPod >= 2
+	case "jellyfish":
+		return c.Switches >= 2 && c.Ports >= 2 && c.NetPorts >= 1 &&
+			c.NetPorts < c.Switches && c.NetPorts <= c.Ports
+	case "bcube":
+		return c.N >= 2 && c.K >= 0
+	}
+	return false
+}
+
+// build materializes the case's topology and endpoint roster. The second
+// return value is the endpoints the ELP recipes draw from.
+func (c Case) build() (*topology.Graph, []topology.NodeID, *topology.BCube, error) {
+	switch c.Topo {
+	case "clos":
+		cl, err := topology.NewClos(topology.ClosConfig{
+			Pods: c.Pods, ToRsPerPod: c.ToRsPerPod, LeafsPerPod: c.LeafsPerPod,
+			Spines: c.Spines, HostsPerToR: c.HostsPerToR,
+		})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return cl.Graph, cl.ToRs, nil, nil
+	case "jellyfish":
+		j, err := topology.NewJellyfish(topology.JellyfishConfig{
+			Switches: c.Switches, Ports: c.Ports, NetPorts: c.NetPorts,
+			Seed: c.Seed, Attempts: 64,
+		})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return j.Graph, j.Switches, nil, nil
+	case "bcube":
+		b, err := topology.NewBCube(c.N, c.K)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return b.Graph, b.Servers, b, nil
+	}
+	return nil, nil, nil, fmt.Errorf("check: unknown topology family %q", c.Topo)
+}
+
+// elpSets builds the base ELP for the family plus the extended set with
+// the seeded random paths mixed in. The base set is what the Clos scheme
+// (bounce budget) is held to; the generic algorithms get the extension.
+func (c Case) elpSets(g *topology.Graph, endpoints []topology.NodeID, b *topology.BCube) (base, ext *elp.Set, err error) {
+	switch c.Topo {
+	case "clos":
+		base = elp.KBounce(g, endpoints, c.MaxBounces, nil)
+	case "jellyfish":
+		base = elp.ShortestAllN(g, endpoints, 1)
+	case "bcube":
+		base = elp.BCubeELP(b, endpoints)
+	}
+	if base.Len() == 0 {
+		return nil, nil, fmt.Errorf("check: empty base ELP for %s", c)
+	}
+	ext = elp.NewSet()
+	if err := ext.AddAll(g, base.Paths()); err != nil {
+		return nil, nil, err
+	}
+	elp.AddRandomPaths(ext, g, endpoints, c.ExtraPaths, 8, c.Seed+1)
+	return base, ext, nil
+}
+
+// RunCase executes the full differential battery on one case and returns
+// the first divergence or invariant violation:
+//
+//  1. oracle re-verification of everything both generic algorithms built;
+//  2. scheme differential (Alg1 vs Alg2 vs, on Clos, the bounce scheme);
+//  3. serial-vs-parallel synthesis, rule for rule;
+//  4. compressed-vs-uncompressed TCAM decisions, exhaustively and along
+//     both ELP and seeded deviation paths, correct and legacy egress.
+func RunCase(c Case) error {
+	g, endpoints, b, err := c.build()
+	if err != nil {
+		return fmt.Errorf("check: building %s: %w", c, err)
+	}
+	base, ext, err := c.elpSets(g, endpoints, b)
+	if err != nil {
+		return err
+	}
+
+	var closBase []routing.Path
+	if c.Topo == "clos" {
+		closBase = base.Paths()
+	}
+	if _, err := DiffSchemes(g, ext.Paths(), closBase, c.MaxBounces); err != nil {
+		return fmt.Errorf("%s: %w", c, err)
+	}
+
+	par := c.Workers
+	if par < 2 {
+		par = 2
+	}
+	if err := DiffParallelism(g, ext.Paths(), par); err != nil {
+		return fmt.Errorf("%s: %w", c, err)
+	}
+
+	s, err := core.Synthesize(g, ext.Paths(), core.Options{Workers: 1})
+	if err != nil {
+		return fmt.Errorf("%s: synthesis: %w", c, err)
+	}
+	rulesets := []*core.Ruleset{s.Rules}
+	if c.Topo == "clos" {
+		rulesets = append(rulesets, core.ClosRules(g, c.MaxBounces, 1))
+	}
+	deviations := elp.DeviationPaths(g, ext, endpoints, c.Deviations, 8, c.Seed+2)
+	for _, rs := range rulesets {
+		if diffs := DiffDecisionsExhaustive(rs, par); len(diffs) > 0 {
+			return fmt.Errorf("%s: %d compressed/uncompressed decision diffs (first: %s)",
+				c, len(diffs), diffs[0])
+		}
+		if err := DiffCompiledParallelism(rs, par); err != nil {
+			return fmt.Errorf("%s: %w", c, err)
+		}
+		if err := ReplayPaths(rs, deviations, ReplayOpts{Par: par, Legacy: true}); err != nil {
+			return fmt.Errorf("%s: deviation replay: %w", c, err)
+		}
+	}
+	if err := ReplayPaths(s.Rules, ext.Paths(), ReplayOpts{Par: par, Legacy: true, RequireLossless: true}); err != nil {
+		return fmt.Errorf("%s: ELP replay: %w", c, err)
+	}
+	if len(closBase) > 0 {
+		if err := ReplayPaths(rulesets[1], closBase, ReplayOpts{Par: par, Legacy: true, RequireLossless: true}); err != nil {
+			return fmt.Errorf("%s: clos ELP replay: %w", c, err)
+		}
+	}
+	return nil
+}
+
+// Shrink minimizes a failing case: it walks every shrinkable knob,
+// repeatedly trying smaller values (and zero for the optional ones) while
+// fails keeps returning true, until a full pass changes nothing. The
+// result fails the same predicate but is as small as greedy per-field
+// descent gets — usually a two-switch fabric with a handful of paths.
+func Shrink(c Case, fails func(Case) bool) Case {
+	type knob struct {
+		get func(*Case) *int
+		min int
+	}
+	knobs := map[string][]knob{
+		"clos": {
+			{func(c *Case) *int { return &c.Pods }, 1},
+			{func(c *Case) *int { return &c.ToRsPerPod }, 1},
+			{func(c *Case) *int { return &c.LeafsPerPod }, 1},
+			{func(c *Case) *int { return &c.Spines }, 1},
+			{func(c *Case) *int { return &c.HostsPerToR }, 0},
+			{func(c *Case) *int { return &c.MaxBounces }, 1},
+		},
+		"jellyfish": {
+			{func(c *Case) *int { return &c.Switches }, 3},
+			{func(c *Case) *int { return &c.Ports }, 3},
+			{func(c *Case) *int { return &c.NetPorts }, 2},
+		},
+		"bcube": {
+			{func(c *Case) *int { return &c.N }, 2},
+			{func(c *Case) *int { return &c.K }, 1},
+		},
+	}
+	common := []knob{
+		{func(c *Case) *int { return &c.ExtraPaths }, 0},
+		{func(c *Case) *int { return &c.Deviations }, 0},
+		{func(c *Case) *int { return &c.Workers }, 2},
+	}
+	all := append(append([]knob{}, knobs[c.Topo]...), common...)
+
+	for changed := true; changed; {
+		changed = false
+		for _, k := range all {
+			for {
+				cur := *k.get(&c)
+				if cur <= k.min {
+					break
+				}
+				// Try the floor first (one probe often finishes the
+				// field), then single steps. Structurally impossible
+				// candidates are never probed: their build errors would
+				// satisfy fails for the wrong reason.
+				cand := c
+				*k.get(&cand) = k.min
+				if !cand.validConfig() || !fails(cand) {
+					cand = c
+					*k.get(&cand) = cur - 1
+					if !cand.validConfig() || !fails(cand) {
+						break
+					}
+				}
+				c = cand
+				changed = true
+			}
+		}
+	}
+	return c
+}

@@ -1,0 +1,95 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/routing"
+	"repro/internal/tcam"
+)
+
+// ReplayOpts configures ReplayPaths.
+type ReplayOpts struct {
+	StartTag        int  // NIC stamp; 0 means 1
+	RequireLossless bool // fail if any path goes lossy (ELP yes, deviations no)
+	Par             int  // worker count for the compiled image
+	Legacy          bool // run the §7 egress-by-old-tag ablation variant too
+}
+
+// ReplayPaths pushes every path hop by hop through three independent
+// implementations — the abstract ruleset replay (core), the uncompressed
+// §7 pipeline, and the compiled TCAM image — and demands identical
+// (NewTag, ingress queue, egress queue) decisions at every hop, plus the
+// structural invariants any §7-correct dataplane must keep:
+//
+//   - once lossy, always lossy (the safeguard tag cannot be escaped);
+//   - non-legacy egress queues follow the NEW tag (the §7 priority-
+//     transition rule), legacy egress queues the old one;
+//   - lossless tags never decrease along a path.
+//
+// ELP paths additionally must stay lossless end to end when
+// RequireLossless is set; deviation paths exercise the safeguard instead.
+func ReplayPaths(rs *core.Ruleset, paths []routing.Path, opts ReplayOpts) error {
+	startTag := opts.StartTag
+	if startTag == 0 {
+		startTag = 1
+	}
+	g := rs.Graph()
+	pl := &tcam.Pipeline{Rules: rs}
+	cp := tcam.NewCompiled(rs, opts.Par)
+	legacies := []bool{false}
+	if opts.Legacy {
+		legacies = append(legacies, true)
+	}
+	for _, p := range paths {
+		ref := rs.Replay(p, startTag)
+		if opts.RequireLossless && !ref.Lossless {
+			return fmt.Errorf("check: path %s goes lossy at hop %d", p.String(g), ref.DropHop)
+		}
+		for _, legacy := range legacies {
+			pl.LegacyEgressByOldTag = legacy
+			cp.LegacyEgressByOldTag = legacy
+			tag := startTag
+			for i := 1; i+1 < len(p); i++ {
+				sw := p[i]
+				in := g.PortToPeer(sw, p[i-1])
+				out := g.PortToPeer(sw, p[i+1])
+				a := pl.Process(sw, tag, in, out)
+				b := cp.Process(sw, tag, in, out)
+				if a != b {
+					return fmt.Errorf("check: path %s hop %d (legacy=%v): uncompressed %+v vs compiled %+v",
+						p.String(g), i, legacy, a, b)
+				}
+				// The reference replay recorded the tag on arrival at
+				// p[i+1]; the pipelines must rewrite to exactly that.
+				if want := ref.Tags[i]; a.NewTag != want {
+					return fmt.Errorf("check: path %s hop %d (legacy=%v): pipeline rewrites to %d, replay says %d",
+						p.String(g), i, legacy, a.NewTag, want)
+				}
+				if tag == core.LossyTag && a.NewTag != core.LossyTag {
+					return fmt.Errorf("check: path %s hop %d (legacy=%v): lossy packet re-promoted to tag %d",
+						p.String(g), i, legacy, a.NewTag)
+				}
+				if a.NewTag != core.LossyTag && tag != core.LossyTag && a.NewTag < tag {
+					return fmt.Errorf("check: path %s hop %d (legacy=%v): tag decreased %d -> %d",
+						p.String(g), i, legacy, tag, a.NewTag)
+				}
+				wantEgress := a.NewTag
+				if legacy && rs.IsLossless(tag) && a.NewTag != core.LossyTag {
+					wantEgress = tag
+				}
+				if rs.IsLossless(wantEgress) {
+					if a.EgressQueue != wantEgress || a.Kind != tcam.Lossless {
+						return fmt.Errorf("check: path %s hop %d (legacy=%v): egress queue %d kind %v, want lossless queue %d",
+							p.String(g), i, legacy, a.EgressQueue, a.Kind, wantEgress)
+					}
+				} else if a.EgressQueue != 0 || a.Kind != tcam.Lossy {
+					return fmt.Errorf("check: path %s hop %d (legacy=%v): egress queue %d kind %v, want the lossy queue",
+						p.String(g), i, legacy, a.EgressQueue, a.Kind)
+				}
+				tag = a.NewTag
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package check
+
+import (
+	"fmt"
+	"reflect"
+
+	"repro/internal/core"
+	"repro/internal/tcam"
+	"repro/internal/topology"
+)
+
+// DecisionDiff records one (switch, tag, in, out) probe where the
+// uncompressed pipeline and the compiled (compressed) pipeline disagreed.
+type DecisionDiff struct {
+	Switch       topology.NodeID
+	Tag, In, Out int
+	Legacy       bool
+	Uncompressed tcam.QueueDecision
+	Compiled     tcam.QueueDecision
+}
+
+func (d DecisionDiff) String() string {
+	return fmt.Sprintf("decision (sw=%d tag=%d in=%d out=%d legacy=%v): uncompressed %+v, compiled %+v",
+		d.Switch, d.Tag, d.In, d.Out, d.Legacy, d.Uncompressed, d.Compiled)
+}
+
+// Decide is one classification implementation under differential test.
+type Decide func(sw topology.NodeID, tag, in, out int) tcam.QueueDecision
+
+// DiffDecisions probes every (switch, tag, in, out) combination — tags 0
+// through maxTag+1 to cover the lossy and out-of-range edges, all port
+// pairs — through two implementations and records every disagreement.
+// The legacy flag only labels the diffs; callers flip the ablation mode
+// on the implementations themselves.
+func DiffDecisions(g *topology.Graph, maxTag int, legacy bool, a, b Decide) []DecisionDiff {
+	var diffs []DecisionDiff
+	for _, sw := range g.Switches() {
+		nPorts := g.PortCount(sw)
+		for tag := 0; tag <= maxTag+1; tag++ {
+			for in := 0; in < nPorts; in++ {
+				for out := 0; out < nPorts; out++ {
+					da := a(sw, tag, in, out)
+					db := b(sw, tag, in, out)
+					if da != db {
+						diffs = append(diffs, DecisionDiff{
+							Switch: sw, Tag: tag, In: in, Out: out, Legacy: legacy,
+							Uncompressed: da, Compiled: db,
+						})
+					}
+				}
+			}
+		}
+	}
+	return diffs
+}
+
+// DiffDecisionsExhaustive runs DiffDecisions between the uncompressed
+// Pipeline and the compiled image, under both the correct §7 egress
+// mapping and the legacy (egress-by-old-tag) ablation. Compression is
+// only legal because the Figure 9 merges are exact cross products; this
+// is the ground-truth check of that claim, decision for decision.
+func DiffDecisionsExhaustive(rs *core.Ruleset, par int) []DecisionDiff {
+	g := rs.Graph()
+	pl := &tcam.Pipeline{Rules: rs}
+	cp := tcam.NewCompiled(rs, par)
+	var diffs []DecisionDiff
+	for _, legacy := range []bool{false, true} {
+		pl.LegacyEgressByOldTag = legacy
+		cp.LegacyEgressByOldTag = legacy
+		diffs = append(diffs, DiffDecisions(g, rs.MaxTag(), legacy, pl.Process, cp.Process)...)
+	}
+	return diffs
+}
+
+// DiffCompiledParallelism compresses the same ruleset serially and with
+// par workers and demands entry-for-entry identical per-switch TCAM
+// images. Canonical (trimmed) bitmaps make struct equality meaningful.
+func DiffCompiledParallelism(rs *core.Ruleset, par int) error {
+	a := tcam.NewCompiled(rs, 1)
+	b := tcam.NewCompiled(rs, par)
+	if ta, tb := a.TotalEntries(), b.TotalEntries(); ta != tb {
+		return fmt.Errorf("check: compiled par=1 has %d entries, par=%d has %d", ta, par, tb)
+	}
+	for _, sw := range rs.Graph().Switches() {
+		if !reflect.DeepEqual(a.Entries(sw), b.Entries(sw)) {
+			return fmt.Errorf("check: compiled entries diverge at switch %d between par=1 and par=%d", sw, par)
+		}
+	}
+	return nil
+}

@@ -58,8 +58,9 @@ func (k ruleKey) unpack() (sw topology.NodeID, tag, in, out int) {
 // Conflict records two tagged-graph edges that demand different rewrites
 // for the same (switch, tag, in, out) match. Conflicts can arise when
 // Algorithm 2 merges two old tags at a port but splits their successors;
-// DeriveRules resolves them by keeping the larger NewTag (monotonicity is
-// preserved and the packet continues on vertices that exist in the graph)
+// DeriveRules resolves them by keeping the smaller NewTag (monotonicity is
+// preserved, the packet continues on vertices that exist in the graph, and
+// the low rewrite leaves RepairReplay headroom to patch the losing family)
 // and reports them so RepairReplay can restore full ELP coverage.
 type Conflict struct {
 	Rule        Rule // the rule that was kept

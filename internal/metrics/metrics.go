@@ -38,15 +38,23 @@ func (t *Table) AddRow(cells ...any) {
 // NumRows returns the number of data rows.
 func (t *Table) NumRows() int { return len(t.rows) }
 
-// String renders the table.
+// String renders the table. Rows may have more or fewer cells than the
+// header: column widths cover the widest row, short rows end early, and
+// cells beyond the last sized column render unpadded.
 func (t *Table) String() string {
-	width := make([]int, len(t.header))
+	cols := len(t.header)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	width := make([]int, cols)
 	for i, h := range t.header {
 		width[i] = len(h)
 	}
 	for _, r := range t.rows {
 		for i, c := range r {
-			if i < len(width) && len(c) > width[i] {
+			if len(c) > width[i] {
 				width[i] = len(c)
 			}
 		}
@@ -57,7 +65,11 @@ func (t *Table) String() string {
 			if i > 0 {
 				b.WriteString("  ")
 			}
-			fmt.Fprintf(&b, "%-*s", width[i], c)
+			if i < len(width) {
+				fmt.Fprintf(&b, "%-*s", width[i], c)
+			} else {
+				b.WriteString(c)
+			}
 		}
 		b.WriteByte('\n')
 	}

@@ -33,6 +33,32 @@ func TestTableRendering(t *testing.T) {
 	}
 }
 
+// TestTableRaggedRows pins the fix for the ragged-row panic: a row with
+// more cells than the header used to index past the width slice inside
+// writeRow. Wider and narrower rows must both render.
+func TestTableRaggedRows(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow("one", "two", "three", "four") // wider than the header
+	tb.AddRow("solo")                        // narrower than the header
+	tb.AddRow("x", "y")
+	out := tb.String() // pre-fix: panic (index out of range)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if !strings.Contains(lines[2], "three") || !strings.Contains(lines[2], "four") {
+		t.Errorf("wide row lost cells: %q", lines[2])
+	}
+	if strings.TrimRight(lines[3], " ") != "solo" {
+		t.Errorf("narrow row: %q", lines[3])
+	}
+	// Shared columns still align: col 0 pads to len("solo") plus the
+	// two-space separator before "y".
+	if !strings.HasPrefix(lines[4], "x     y") {
+		t.Errorf("alignment after ragged rows: %q", lines[4])
+	}
+}
+
 func TestSparkline(t *testing.T) {
 	if Sparkline(nil, 0) != "" {
 		t.Error("empty series")

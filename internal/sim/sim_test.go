@@ -221,6 +221,15 @@ func TestRoutingLoopWithoutTaggerDeadlocks(t *testing.T) {
 // flow (H5 -> H1) congests T1 -> H1.
 func fig8Scenario(t *testing.T, legacy bool) *Network {
 	t.Helper()
+	n := fig8Setup(t, legacy)
+	n.Run(20 * time.Millisecond)
+	return n
+}
+
+// fig8Setup builds the Figure 8 scenario without running it, so tests can
+// attach observers (e.g. a watchdog) before the clock starts.
+func fig8Setup(t *testing.T, legacy bool) *Network {
+	t.Helper()
 	c, tb, n := testbedNet(t, routing.UpDown)
 	g := c.Graph
 	nn := func(s string) topology.NodeID { return g.MustLookup(s) }
@@ -239,7 +248,6 @@ func fig8Scenario(t *testing.T, legacy bool) *Network {
 	n.SetLegacyEgress(legacy)
 	n.AddFlow(FlowSpec{Name: "green", Src: nn("H9"), Dst: h1})
 	n.AddFlow(FlowSpec{Name: "comp", Src: nn("H5"), Dst: h1, Start: time.Millisecond})
-	n.Run(20 * time.Millisecond)
 	return n
 }
 

@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/routing"
+)
+
+// TestWatchdogCleanExcludesRebootDrops pins the Clean() contract across a
+// chaos schedule: packets a rebooting switch inherently loses land in
+// RebootDrops and must NOT fail the soak invariant, while genuine lossless
+// drops (HeadroomViolation) must. A regression that folds SwitchReboot
+// into LosslessDrops — or stops sampling either counter — fails here.
+func TestWatchdogCleanExcludesRebootDrops(t *testing.T) {
+	c, _, n := testbedNet(t, routing.UpDown)
+	g := c.Graph
+	n.InstallTagger(core.ClosRules(g, 1, 1))
+	// Cross traffic through both pods keeps queues occupied so each
+	// reboot has packets to lose.
+	n.AddFlow(FlowSpec{Name: "a", Src: g.MustLookup("H5"), Dst: g.MustLookup("H1")})
+	n.AddFlow(FlowSpec{Name: "b", Src: g.MustLookup("H9"), Dst: g.MustLookup("H1")})
+	n.AddFlow(FlowSpec{Name: "c", Src: g.MustLookup("H1"), Dst: g.MustLookup("H13")})
+
+	wd := n.StartWatchdog(250 * time.Microsecond)
+	var lost int64
+	for i, sw := range []string{"T1", "L1", "T3"} {
+		name := sw
+		n.At(time.Duration(3+2*i)*time.Millisecond, func() {
+			lost += n.RebootSwitch(g.MustLookup(name))
+		})
+	}
+	n.Run(12 * time.Millisecond)
+
+	if wd.Samples == 0 {
+		t.Fatal("watchdog never sampled")
+	}
+	if lost == 0 {
+		t.Fatal("chaos schedule lost no packets; scenario no longer exercises reboots")
+	}
+	if wd.RebootDrops != lost {
+		t.Errorf("RebootDrops = %d, want %d", wd.RebootDrops, lost)
+	}
+	if wd.LosslessDrops != 0 {
+		t.Errorf("reboot losses leaked into LosslessDrops: %d", wd.LosslessDrops)
+	}
+	if !wd.Clean() {
+		t.Errorf("Clean() = false for a reboot-only schedule: %+v", wd)
+	}
+}
+
+// TestWatchdogDirtyOnLosslessDrops is the other half of the contract: the
+// Figure 8a legacy-egress run genuinely drops lossless packets, and Clean
+// must say so even though no deadlock ever forms.
+func TestWatchdogDirtyOnLosslessDrops(t *testing.T) {
+	n := fig8Setup(t, true)
+	wd := n.StartWatchdog(250 * time.Microsecond)
+	n.Run(20 * time.Millisecond)
+	if wd.LosslessDrops == 0 {
+		t.Fatal("legacy egress run had no lossless drops; fixture drifted")
+	}
+	if wd.Clean() {
+		t.Errorf("Clean() = true despite %d lossless drops", wd.LosslessDrops)
+	}
+}

@@ -53,6 +53,54 @@ func (b Bitmap) Count() int {
 	return n
 }
 
+// trim drops trailing zero words so that bitmaps with identical bit sets
+// have identical representations regardless of how they were built
+// (pre-sized via NewBitmap vs grown by Set). Canonical representations
+// make struct-level comparisons (reflect.DeepEqual in the determinism
+// and differential tests) agree with Equal.
+func (b *Bitmap) trim() {
+	for len(b.words) > 0 && b.words[len(b.words)-1] == 0 {
+		b.words = b.words[:len(b.words)-1]
+	}
+}
+
+// Union sets every bit of o in b (mask-merge). Word counts need not
+// match; b grows as needed and trailing zero words in o add nothing.
+func (b *Bitmap) Union(o Bitmap) {
+	for len(b.words) < len(o.words) {
+		b.words = append(b.words, 0)
+	}
+	for i, w := range o.words {
+		b.words[i] |= w
+	}
+}
+
+// Compare orders bitmaps by their bit sets, treating them as unbounded
+// integers (zero-extended): -1, 0, or +1. Bitmaps that Equal compare 0
+// regardless of trailing zero words.
+func (b Bitmap) Compare(o Bitmap) int {
+	n := len(b.words)
+	if len(o.words) > n {
+		n = len(o.words)
+	}
+	for i := n - 1; i >= 0; i-- {
+		var x, y uint64
+		if i < len(b.words) {
+			x = b.words[i]
+		}
+		if i < len(o.words) {
+			y = o.words[i]
+		}
+		if x != y {
+			if x < y {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
 // Equal reports whether two bitmaps have identical bit sets.
 func (b Bitmap) Equal(o Bitmap) bool {
 	n := len(b.words)
@@ -103,10 +151,16 @@ func (b Bitmap) Ports() []int {
 
 // String renders the bitmap LSB-last over width w (like the paper's
 // Figure 9, where the first bit from the right is port 0... the paper
-// numbers from 1; we keep 0-based and render right-to-left).
+// numbers from 1; we keep 0-based and render right-to-left). width <= 0
+// renders the logical width — trailing zero words are not rendered, so
+// logically equal bitmaps stringify identically however they were built.
 func (b Bitmap) String(width int) string {
 	if width <= 0 {
-		width = len(b.words) * 64
+		end := len(b.words)
+		for end > 0 && b.words[end-1] == 0 {
+			end--
+		}
+		width = end * 64
 	}
 	buf := make([]byte, width)
 	for i := 0; i < width; i++ {

@@ -146,9 +146,7 @@ func compressChunk(rules []core.Rule) []Entry {
 		e := stage1[k]
 		k2 := inKey{e.Switch, e.Tag, e.NewTag, e.InPorts.Key()}
 		if merged, ok := stage2[k2]; ok {
-			for _, p := range e.OutPorts.Ports() {
-				merged.OutPorts.Set(p)
-			}
+			merged.OutPorts.Union(e.OutPorts)
 			continue
 		}
 		stage2[k2] = e
@@ -158,6 +156,9 @@ func compressChunk(rules []core.Rule) []Entry {
 	res := make([]Entry, len(out))
 	for i, e := range out {
 		res[i] = *e
+		// Canonical bitmaps: logically equal entries are struct-equal.
+		res[i].InPorts.trim()
+		res[i].OutPorts.trim()
 	}
 	return res
 }
@@ -199,7 +200,10 @@ func CompressInPortOnly(rules []core.Rule) []Entry {
 	})
 	out := make([]Entry, 0, len(order))
 	for _, k := range order {
-		out = append(out, *grouped[k])
+		e := *grouped[k]
+		e.InPorts.trim()
+		e.OutPorts.trim()
+		out = append(out, e)
 	}
 	return out
 }

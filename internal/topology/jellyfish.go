@@ -15,6 +15,11 @@ type JellyfishConfig struct {
 	Ports    int
 	NetPorts int   // switch-to-switch ports per switch; 0 means Ports/2
 	Seed     int64 // RNG seed; construction is deterministic per seed
+	// Attempts bounds how many derived seeds the builder tries before
+	// giving up on a connected random-regular graph; 0 means 8. Fuzzing
+	// over tight configurations (NetPorts close to Switches) raises it so
+	// unlucky seeds produce a topology instead of a skipped case.
+	Attempts int
 }
 
 // Jellyfish is a built Jellyfish topology.
@@ -50,7 +55,11 @@ func NewJellyfish(cfg JellyfishConfig) (*Jellyfish, error) {
 		return nil, fmt.Errorf("jellyfish: NetPorts %d must be < Switches %d", net, cfg.Switches)
 	}
 
-	for attempt := 0; attempt < 8; attempt++ {
+	attempts := cfg.Attempts
+	if attempts <= 0 {
+		attempts = 8
+	}
+	for attempt := 0; attempt < attempts; attempt++ {
 		seed := cfg.Seed + int64(attempt)*1_000_003
 		edges, ok := randomRegularEdges(cfg.Switches, net, seed)
 		if !ok || !edgesConnected(cfg.Switches, edges) {

@@ -5,15 +5,15 @@ BENCH_OUT ?= BENCH_$(shell date +%F).json
 # benchmarks and fails on a >15% time regression against that snapshot.
 BENCH_BASELINE ?=
 
-.PHONY: all check build vet test determinism race bench benchdiff benchgate fuzz fuzz-smoke cover examples experiments clean
+.PHONY: all check build vet test determinism race bench benchdiff benchgate telemetry-overhead fuzz fuzz-smoke cover examples experiments clean
 
 all: check
 
 # check is the pre-merge gate: build, vet, tests, the parallel-determinism
 # contract under the race detector, the full race suite, the bounded
-# differential fuzz smoke, and (opt-in via BENCH_BASELINE) the benchmark
-# regression gate.
-check: build vet test determinism race fuzz-smoke benchgate
+# differential fuzz smoke, the telemetry overhead gate, and (opt-in via
+# BENCH_BASELINE) the benchmark regression gate.
+check: build vet test determinism race fuzz-smoke telemetry-overhead benchgate
 
 build:
 	$(GO) build ./...
@@ -52,6 +52,18 @@ else
 	$(GO) run ./cmd/benchdiff -record /tmp/benchgate_run.json /tmp/benchgate_run.txt
 	$(GO) run ./cmd/benchdiff $(BENCH_BASELINE) /tmp/benchgate_run.json
 endif
+
+# Telemetry must be near-free for hot synthesis code: the instrumented
+# Algorithm 2 benchmark (spans + merge counters live, the default) must
+# stay within 5% of a TAGGER_TELEMETRY=off run of the same build.
+# -count 5 + benchdiff's fastest-run dedupe keeps scheduler noise from
+# tripping the tight threshold.
+telemetry-overhead:
+	TAGGER_TELEMETRY=off $(GO) test -run '^$$' -bench 'BenchmarkAlgorithm2Jellyfish200$$' -benchtime 100x -count 5 . > /tmp/telemetry_off.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkAlgorithm2Jellyfish200$$' -benchtime 100x -count 5 . > /tmp/telemetry_on.txt
+	$(GO) run ./cmd/benchdiff -record /tmp/telemetry_off.json /tmp/telemetry_off.txt
+	$(GO) run ./cmd/benchdiff -record /tmp/telemetry_on.json /tmp/telemetry_on.txt
+	$(GO) run ./cmd/benchdiff -threshold 0.05 /tmp/telemetry_off.json /tmp/telemetry_on.json
 
 fuzz:
 	$(GO) test -fuzz FuzzDecodeRoCEv2 -fuzztime 30s ./internal/wire/

@@ -3,6 +3,8 @@ package tagger
 import (
 	"reflect"
 	"testing"
+
+	"repro/internal/telemetry"
 )
 
 // TestChaosSoak is the headline robustness claim: across seeded fault
@@ -81,5 +83,46 @@ func TestChaosSoakCountsRebootLossesSeparately(t *testing.T) {
 	}
 	if !r.Clean() {
 		t.Error("reboot losses tripped the lossless-drop invariant")
+	}
+}
+
+// TestChaosSoakTelemetry: a soak run with a registry attached reports
+// the simulator's PFC histograms, the merged deployment counters, and a
+// "soak" span — the wiring the taggersim ops endpoint serves.
+func TestChaosSoakTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	r, err := ChaosSoakWithTelemetry(1, true, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	counters := map[string]int64{}
+	for _, cs := range snap.Counters {
+		counters[cs.Name] += cs.Value
+	}
+	if counters["deploy.pushes"] == 0 {
+		t.Error("controller deploy counters not merged into registry")
+	}
+	if got := counters["deploy.pushes"]; got != r.DeployCounters["deploy.pushes"] {
+		t.Errorf("merged deploy.pushes = %d, result carries %d", got, r.DeployCounters["deploy.pushes"])
+	}
+	var sawPause, sawSoak bool
+	for _, hs := range snap.Hists {
+		if hs.Name == "sim_pause_duration_seconds" && hs.Count > 0 {
+			sawPause = true
+		}
+		if hs.Name == "span_duration_seconds" {
+			for _, l := range hs.Labels {
+				if l.K == "span" && l.V == "soak" {
+					sawSoak = true
+				}
+			}
+		}
+	}
+	if !sawPause {
+		t.Error("no pause-duration observations from the soak")
+	}
+	if !sawSoak {
+		t.Error("no soak span recorded")
 	}
 }

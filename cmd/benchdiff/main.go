@@ -87,6 +87,9 @@ func recordSnapshot(out string, args []string) error {
 	if len(snap.Benchmarks) == 0 {
 		return fmt.Errorf("no benchmark lines found in input")
 	}
+	// A -count N run repeats every name; keep each benchmark's fastest
+	// run so snapshots stay one-record-per-name and noise-robust.
+	snap.Dedupe()
 	if err := benchfmt.WriteFile(out, snap); err != nil {
 		return err
 	}

@@ -23,6 +23,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/check"
+	"repro/internal/telemetry/profile"
 )
 
 func main() {
@@ -34,8 +35,19 @@ func main() {
 			"directory for shrunk repro tests")
 		quiet = flag.Bool("q", false, "only report failures and the final tally")
 	)
+	prof := profile.AddFlags(flag.CommandLine)
 	flag.Parse()
 	log.SetFlags(0)
+
+	stop, err := prof.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stop(); err != nil {
+			log.Fatal(err)
+		}
+	}()
 
 	topos := check.Topos()
 	if *topo != "all" {
@@ -87,6 +99,9 @@ func main() {
 		fmt.Printf("taggerfuzz: %d failing seed(s)\n", failures)
 		if failures > 125 {
 			failures = 125
+		}
+		if err := stop(); err != nil { // os.Exit skips the deferred stop
+			log.Print(err)
 		}
 		os.Exit(failures)
 	}

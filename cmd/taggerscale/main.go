@@ -16,12 +16,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"os"
-	"runtime"
-	"runtime/pprof"
 
 	tagger "repro"
 	"repro/internal/metrics"
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/profile"
 )
 
 func main() {
@@ -29,41 +28,35 @@ func main() {
 	log.SetPrefix("taggerscale: ")
 
 	var (
-		switches   = flag.Int("switches", 0, "custom Jellyfish switch count (0 = default sweep)")
-		ports      = flag.Int("ports", 24, "custom Jellyfish ports per switch")
-		random     = flag.Int("random", 0, "extra random ELP paths")
-		seed       = flag.Int64("seed", 1, "Jellyfish seed")
-		bcube      = flag.Bool("bcube", false, "run the BCube tag-count sweep instead")
-		fattree    = flag.Bool("fattree", false, "run the fat-tree sweep instead")
-		par        = flag.Int("par", 0, "synthesis worker count (0 = GOMAXPROCS, 1 = serial legacy path)")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		switches = flag.Int("switches", 0, "custom Jellyfish switch count (0 = default sweep)")
+		ports    = flag.Int("ports", 24, "custom Jellyfish ports per switch")
+		random   = flag.Int("random", 0, "extra random ELP paths")
+		seed     = flag.Int64("seed", 1, "Jellyfish seed")
+		bcube    = flag.Bool("bcube", false, "run the BCube tag-count sweep instead")
+		fattree  = flag.Bool("fattree", false, "run the fat-tree sweep instead")
+		par      = flag.Int("par", 0, "synthesis worker count (0 = GOMAXPROCS, 1 = serial legacy path)")
+		ops      = flag.String("ops", "", "serve /metrics, /healthz and /debug/pprof on this address during and after the sweep (e.g. :8080)")
 	)
+	prof := profile.AddFlags(flag.CommandLine)
 	flag.Parse()
 
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
+	stop, err := prof.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stop(); err != nil {
+			log.Fatal(err)
+		}
+	}()
+
+	if *ops != "" {
+		srv, err := telemetry.StartOps(*ops, telemetry.Default)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			log.Fatal(err)
-		}
-		defer pprof.StopCPUProfile()
-	}
-	if *memprofile != "" {
-		defer func() {
-			f, err := os.Create(*memprofile)
-			if err != nil {
-				log.Fatal(err)
-			}
-			defer f.Close()
-			runtime.GC() // measure retained heap, not transient garbage
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				log.Fatal(err)
-			}
-		}()
+		log.Printf("ops endpoint on http://%s (metrics, healthz, debug/pprof)", srv.Addr())
+		defer srv.Close()
 	}
 	run(*switches, *ports, *random, *seed, *par, *bcube, *fattree)
 }

@@ -19,10 +19,20 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
 	tagger "repro"
 	"repro/internal/metrics"
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/profile"
 )
+
+// opsReg is the run's operational registry when -ops is set: the chaos
+// soak's simulator histograms and deployment counters merge into it, and
+// the ops endpoint serves it alongside telemetry.Default (which holds
+// the synthesis spans).
+var opsReg *telemetry.Registry
 
 func main() {
 	log.SetFlags(0)
@@ -34,8 +44,36 @@ func main() {
 		days   = flag.Int("days", 7, "table1: days to simulate")
 		perDay = flag.Int64("per-day", 1_000_000, "table1: measurements per day")
 		trace  = flag.String("trace", "", "write a JSONL event trace of figure experiments to this file")
+		ops    = flag.String("ops", "", "serve /metrics, /healthz and /debug/pprof on this address; the process stays up after the run until interrupted (e.g. :8080)")
 	)
+	prof := profile.AddFlags(flag.CommandLine)
 	flag.Parse()
+
+	stop, err := prof.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stop(); err != nil {
+			log.Fatal(err)
+		}
+	}()
+
+	if *ops != "" {
+		opsReg = telemetry.NewRegistry()
+		srv, err := telemetry.StartOps(*ops, telemetry.Default, opsReg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("ops endpoint on http://%s (metrics, healthz, debug/pprof)", srv.Addr())
+		defer srv.Close()
+		defer func() {
+			log.Printf("run finished; ops endpoint still serving on http://%s — interrupt to exit", srv.Addr())
+			ch := make(chan os.Signal, 1)
+			signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+			<-ch
+		}()
+	}
 
 	switch *exp {
 	case "fig10", "fig11", "fig12":
@@ -123,15 +161,13 @@ func main() {
 		fmt.Println("pause-wait cycles; Tagger rules deploy through the unreliable agents")
 		fmt.Println()
 		for seed := int64(1); seed <= int64(*seeds); seed++ {
-			with, err := tagger.ChaosSoak(seed, true)
+			with, err := tagger.ChaosSoakWithTelemetry(seed, true, opsReg)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				log.Fatal(err)
 			}
-			without, err := tagger.ChaosSoak(seed, false)
+			without, err := tagger.ChaosSoakWithTelemetry(seed, false, opsReg)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				log.Fatal(err)
 			}
 			fmt.Printf("seed %-3d %2d faults | with Tagger: clean=%v (bring-up attempts=%d, install failures=%d, partial installs caught=%d) | without: deadlocked=%v (%d/%d samples)\n",
 				seed, with.Faults, with.Clean(), with.DeployAttempts,

@@ -26,16 +26,29 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 type linkKey struct{ node, peer string }
 
+// pauseKey identifies one open pause interval: PFC pauses per priority,
+// so the same link can hold several intervals at once.
+type pauseKey struct {
+	linkKey
+	prio int
+}
+
 // traceSummary is everything analyze extracts from one trace stream.
 type traceSummary struct {
-	Events        int // well-formed events
-	Skipped       int // malformed/truncated lines
-	Pauses        map[linkKey]int
-	Resumes       map[linkKey]int
+	Events  int // well-formed events
+	Skipped int // malformed/truncated lines
+	Pauses  map[linkKey]int
+	Resumes map[linkKey]int
+	// PauseDur histograms each link's pause-interval durations (seconds),
+	// paired pause→resume per priority; intervals never resumed (a
+	// deadlock, or a truncated trace) stay open and are not observed.
+	PauseDur      map[linkKey]*telemetry.Histogram
+	open          map[pauseKey]int64 // pause-onset T of open intervals
 	DropByReason  map[string]int
 	DropByFlow    map[string]int
 	Demotes       int
@@ -51,6 +64,8 @@ func analyze(r io.Reader) (*traceSummary, error) {
 	s := &traceSummary{
 		Pauses:        map[linkKey]int{},
 		Resumes:       map[linkKey]int{},
+		PauseDur:      map[linkKey]*telemetry.Histogram{},
+		open:          map[pauseKey]int64{},
 		DropByReason:  map[string]int{},
 		DropByFlow:    map[string]int{},
 		FirstDeadlock: -1,
@@ -73,9 +88,21 @@ func analyze(r io.Reader) (*traceSummary, error) {
 		}
 		switch ev.Kind {
 		case "pause":
-			s.Pauses[linkKey{ev.Node, ev.Peer}]++
+			lk := linkKey{ev.Node, ev.Peer}
+			s.Pauses[lk]++
+			s.open[pauseKey{lk, ev.Prio}] = ev.T
 		case "resume":
-			s.Resumes[linkKey{ev.Node, ev.Peer}]++
+			lk := linkKey{ev.Node, ev.Peer}
+			s.Resumes[lk]++
+			if start, ok := s.open[pauseKey{lk, ev.Prio}]; ok {
+				delete(s.open, pauseKey{lk, ev.Prio})
+				h := s.PauseDur[lk]
+				if h == nil {
+					h = telemetry.NewHistogram(telemetry.DurationBuckets())
+					s.PauseDur[lk] = h
+				}
+				h.ObserveDuration(ev.T - start)
+			}
 		case "drop":
 			s.DropByReason[ev.Reason]++
 			s.DropByFlow[ev.Flow]++
@@ -137,6 +164,37 @@ func (s *traceSummary) report(w io.Writer, top int) {
 	}
 	fmt.Fprintf(w, "pause pressure (top %d links):\n%s\n", top, t.String())
 
+	if len(s.PauseDur) > 0 {
+		type durRow struct {
+			k    linkKey
+			snap telemetry.HistSnap
+		}
+		var durs []durRow
+		for k, h := range s.PauseDur {
+			durs = append(durs, durRow{k, h.Snapshot()})
+		}
+		sort.Slice(durs, func(i, j int) bool {
+			if durs[i].snap.Count != durs[j].snap.Count {
+				return durs[i].snap.Count > durs[j].snap.Count
+			}
+			if durs[i].k.node != durs[j].k.node {
+				return durs[i].k.node < durs[j].k.node
+			}
+			return durs[i].k.peer < durs[j].k.peer
+		})
+		if len(durs) > top {
+			durs = durs[:top]
+		}
+		dt := metrics.NewTable("Pauser", "Paused peer", "Intervals", "p50", "p95", "p99")
+		for _, r := range durs {
+			dt.AddRow(r.k.node, r.k.peer, r.snap.Count,
+				secDuration(r.snap.Quantile(0.50)),
+				secDuration(r.snap.Quantile(0.95)),
+				secDuration(r.snap.Quantile(0.99)))
+		}
+		fmt.Fprintf(w, "pause durations (top %d links by paired pause/resume intervals):\n%s\n", top, dt.String())
+	}
+
 	if len(s.DropByReason) > 0 {
 		dt := metrics.NewTable("Drop reason", "Count")
 		reasons := make([]string, 0, len(s.DropByReason))
@@ -152,6 +210,11 @@ func (s *traceSummary) report(w io.Writer, top int) {
 	if s.Demotes > 0 {
 		fmt.Fprintf(w, "lossless-to-lossy demotions: %d\n", s.Demotes)
 	}
+}
+
+// secDuration rounds a duration given in seconds for table display.
+func secDuration(sec float64) time.Duration {
+	return time.Duration(sec * 1e9).Round(10 * time.Nanosecond)
 }
 
 func main() {

@@ -77,3 +77,59 @@ func TestAnalyzeCleanTrace(t *testing.T) {
 		t.Errorf("missing no-deadlock line:\n%s", b.String())
 	}
 }
+
+// TestPauseDurationPercentiles: paired pause/resume intervals feed the
+// per-link duration histograms (per priority, so overlapping pauses on
+// different priorities pair correctly), unresumed pauses are excluded,
+// and the report renders a percentile table honoring -top.
+func TestPauseDurationPercentiles(t *testing.T) {
+	trace := strings.Join([]string{
+		// A->B: two 2µs intervals on prio 1, plus one never-resumed pause.
+		`{"t":1000,"kind":"pause","node":"A","peer":"B","prio":1}`,
+		`{"t":3000,"kind":"resume","node":"A","peer":"B","prio":1}`,
+		`{"t":10000,"kind":"pause","node":"A","peer":"B","prio":1}`,
+		`{"t":12000,"kind":"resume","node":"A","peer":"B","prio":1}`,
+		`{"t":20000,"kind":"pause","node":"A","peer":"B","prio":2}`,
+		// C->D: three 4µs intervals, overlapping across priorities.
+		`{"t":1000,"kind":"pause","node":"C","peer":"D","prio":1}`,
+		`{"t":2000,"kind":"pause","node":"C","peer":"D","prio":2}`,
+		`{"t":5000,"kind":"resume","node":"C","peer":"D","prio":1}`,
+		`{"t":6000,"kind":"resume","node":"C","peer":"D","prio":2}`,
+		`{"t":9000,"kind":"pause","node":"C","peer":"D","prio":1}`,
+		`{"t":13000,"kind":"resume","node":"C","peer":"D","prio":1}`,
+	}, "\n")
+
+	s, err := analyze(strings.NewReader(trace))
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	ab, cd := linkKey{"A", "B"}, linkKey{"C", "D"}
+	if got := s.PauseDur[ab].Count(); got != 2 {
+		t.Errorf("A->B intervals = %d, want 2 (open pause must not count)", got)
+	}
+	if got := s.PauseDur[cd].Count(); got != 3 {
+		t.Errorf("C->D intervals = %d, want 3", got)
+	}
+	snap := s.PauseDur[cd].Snapshot()
+	if snap.Min != 4e-6 || snap.Max != 4e-6 {
+		t.Errorf("C->D min/max = %v/%v s, want 4µs exactly", snap.Min, snap.Max)
+	}
+
+	var b strings.Builder
+	s.report(&b, 10)
+	out := b.String()
+	if !strings.Contains(out, "pause durations") || !strings.Contains(out, "p99") {
+		t.Fatalf("report missing the percentile table:\n%s", out)
+	}
+	if !strings.Contains(out, "2µs") || !strings.Contains(out, "4µs") {
+		t.Errorf("percentile table missing expected durations:\n%s", out)
+	}
+
+	// -top 1 keeps only the busiest link (C->D, 3 intervals).
+	b.Reset()
+	s.report(&b, 1)
+	durSection := b.String()[strings.Index(b.String(), "pause durations"):]
+	if !strings.Contains(durSection, "C") || strings.Contains(durSection, "A     B") {
+		t.Errorf("-top 1 did not keep only the busiest link:\n%s", durSection)
+	}
+}

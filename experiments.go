@@ -17,6 +17,7 @@ import (
 	"repro/internal/routing"
 	"repro/internal/sim"
 	"repro/internal/tcam"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 	"repro/internal/workload"
 )
@@ -638,9 +639,23 @@ func ChaosSoakConfig() chaos.Config {
 // simulation executes. Without Tagger the identical schedule runs bare,
 // reproducing the deadlock the deployment exists to prevent.
 func ChaosSoak(seed int64, withTagger bool) (ChaosSoakResult, error) {
+	return ChaosSoakWithTelemetry(seed, withTagger, nil)
+}
+
+// ChaosSoakWithTelemetry is ChaosSoak with operational metrics: when reg
+// is non-nil the packet simulation reports its PFC pause histograms and
+// deadlock gauges into it, the soak itself runs under a "soak" span, and
+// the controller's deployment counters/spans are merged in after
+// bring-up. A nil reg keeps the soak telemetry-free (and bit-identical
+// to previous behavior, which the determinism test pins).
+func ChaosSoakWithTelemetry(seed int64, withTagger bool, reg *telemetry.Registry) (ChaosSoakResult, error) {
+	defer reg.StartSpan("soak").End()
 	sched := chaos.Generate(ChaosSoakConfig(), seed)
 	s := workload.Chaos(workload.Options{}, sched)
 	res := ChaosSoakResult{Seed: seed, Faults: len(sched.Faults)}
+	if reg != nil {
+		s.Net.SetTelemetry(reg)
+	}
 
 	if withTagger {
 		g := s.Clos.Graph
@@ -661,6 +676,9 @@ func ChaosSoak(seed int64, withTagger bool) (ChaosSoakResult, error) {
 			if err == nil {
 				break
 			}
+		}
+		if ctl != nil && reg != nil {
+			reg.Merge(ctl.Telemetry().Snapshot())
 		}
 		if err != nil {
 			return res, fmt.Errorf("tagger: chaos bring-up never converged: %w", err)

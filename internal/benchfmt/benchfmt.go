@@ -99,6 +99,28 @@ func parseLine(line string) (Benchmark, error) {
 	return b, nil
 }
 
+// Dedupe collapses duplicate benchmark names — what a `-count N` run
+// produces — into a single record each, keeping the run with the lowest
+// ns/op. Min-of-N is the standard noise-robust estimate: scheduler and
+// GC interference only ever add time, so the fastest run is the closest
+// observation of the code's true cost. No-op for -count 1 output.
+func (f *File) Dedupe() {
+	best := make(map[string]Benchmark, len(f.Benchmarks))
+	for _, b := range f.Benchmarks {
+		if prev, ok := best[b.Name]; !ok || b.NsPerOp < prev.NsPerOp {
+			best[b.Name] = b
+		}
+	}
+	if len(best) == len(f.Benchmarks) {
+		return
+	}
+	f.Benchmarks = f.Benchmarks[:0]
+	for _, b := range best {
+		f.Benchmarks = append(f.Benchmarks, b)
+	}
+	sort.Slice(f.Benchmarks, func(i, j int) bool { return f.Benchmarks[i].Name < f.Benchmarks[j].Name })
+}
+
 // WriteFile persists a snapshot as indented JSON.
 func WriteFile(path string, f *File) error {
 	data, err := json.MarshalIndent(f, "", "  ")

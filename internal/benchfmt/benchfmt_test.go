@@ -119,3 +119,30 @@ func TestWriteReadRoundTrip(t *testing.T) {
 		t.Error("identical snapshots reported a regression")
 	}
 }
+
+// TestDedupe: -count N output repeats every benchmark name; Dedupe keeps
+// the fastest run per name (scheduler noise only adds time) and leaves
+// already-unique snapshots untouched.
+func TestDedupe(t *testing.T) {
+	f := &File{Benchmarks: []Benchmark{
+		{Name: "BenchmarkB", NsPerOp: 50},
+		{Name: "BenchmarkA", NsPerOp: 120, AllocsPerOp: 7},
+		{Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: 7},
+		{Name: "BenchmarkA", NsPerOp: 110, AllocsPerOp: 7},
+	}}
+	f.Dedupe()
+	if len(f.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2: %+v", len(f.Benchmarks), f.Benchmarks)
+	}
+	if f.Benchmarks[0].Name != "BenchmarkA" || f.Benchmarks[0].NsPerOp != 100 {
+		t.Errorf("kept %+v, want BenchmarkA at 100 ns/op", f.Benchmarks[0])
+	}
+	if f.Benchmarks[1].Name != "BenchmarkB" || f.Benchmarks[1].NsPerOp != 50 {
+		t.Errorf("kept %+v, want BenchmarkB at 50 ns/op", f.Benchmarks[1])
+	}
+	before := f.Benchmarks
+	f.Dedupe() // idempotent on unique names
+	if len(f.Benchmarks) != 2 || &before[0] != &f.Benchmarks[0] {
+		t.Error("Dedupe on a unique snapshot must be a no-op")
+	}
+}

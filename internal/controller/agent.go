@@ -168,9 +168,9 @@ func (c *Controller) auditRecord(sw, op string, attempt int, err error, backoff 
 	c.auditSeq++
 	if err != nil {
 		e.Err = err.Error()
-		c.counters.Add("deploy."+op+".fail", 1)
+		c.tel.Counter("deploy." + op + ".fail").Inc()
 	} else {
-		c.counters.Add("deploy."+op+".ok", 1)
+		c.tel.Counter("deploy." + op + ".ok").Inc()
 	}
 	c.auditLog = append(c.auditLog, e)
 }
@@ -188,19 +188,25 @@ func (c *Controller) attempt(sw, op string, fn func() error) error {
 		err = fn()
 		if err == nil {
 			c.auditRecord(sw, op, try, nil, 0)
+			c.tel.Gauge("deploy_last_attempts", "switch", sw, "op", op).Set(float64(try))
+			if try > 1 {
+				c.tel.Counter("deploy_retries_total", "switch", sw).Add(int64(try - 1))
+			}
 			return nil
 		}
 		var backoff time.Duration
 		if try < max {
 			backoff = c.backoffFor(try)
-			c.counters.Add("deploy.backoff_ns", int64(backoff))
+			c.tel.Counter("deploy.backoff_ns").Add(int64(backoff))
 			if c.deployCfg.Sleep != nil {
 				c.deployCfg.Sleep(backoff)
 			}
 		}
 		c.auditRecord(sw, op, try, err, backoff)
 	}
-	c.counters.Add("deploy.gave_up", 1)
+	c.tel.Counter("deploy.gave_up").Inc()
+	c.tel.Gauge("deploy_last_attempts", "switch", sw, "op", op).Set(float64(max))
+	c.tel.Counter("deploy_retries_total", "switch", sw).Add(int64(max - 1))
 	return fmt.Errorf("controller: %s on %s failed after %d attempts: %w", op, sw, max, err)
 }
 
@@ -224,24 +230,30 @@ func (c *Controller) installVerify(sw string, want deploy.SwitchBundle) error {
 			got, err = c.agent.Fetch(sw)
 			if err == nil && !sameRules(got.Rules, want.Rules) {
 				err = fmt.Errorf("staged bundle mismatch: %d/%d rules landed", len(got.Rules), len(want.Rules))
-				c.counters.Add("deploy.partial_detected", 1)
+				c.tel.Counter("deploy.partial_detected").Inc()
 			}
 			if err == nil {
 				c.auditRecord(sw, OpVerify, try, nil, 0)
+				c.tel.Gauge("deploy_last_attempts", "switch", sw, "op", OpInstall).Set(float64(try))
+				if try > 1 {
+					c.tel.Counter("deploy_retries_total", "switch", sw).Add(int64(try - 1))
+				}
 				return nil
 			}
 		}
 		var backoff time.Duration
 		if try < max {
 			backoff = c.backoffFor(try)
-			c.counters.Add("deploy.backoff_ns", int64(backoff))
+			c.tel.Counter("deploy.backoff_ns").Add(int64(backoff))
 			if c.deployCfg.Sleep != nil {
 				c.deployCfg.Sleep(backoff)
 			}
 		}
 		c.auditRecord(sw, op, try, err, backoff)
 	}
-	c.counters.Add("deploy.gave_up", 1)
+	c.tel.Counter("deploy.gave_up").Inc()
+	c.tel.Gauge("deploy_last_attempts", "switch", sw, "op", OpInstall).Set(float64(max))
+	c.tel.Counter("deploy_retries_total", "switch", sw).Add(int64(max - 1))
 	return fmt.Errorf("controller: install on %s failed after %d attempts: %w", sw, max, err)
 }
 
@@ -279,19 +291,26 @@ func sameRules(a, b []deploy.RuleJSON) bool {
 // stays incremental — unless forceAll re-pushes everything (Redeploy
 // after a switch reboot). Called with c.mu held.
 func (c *Controller) pushBundle(newBundle *deploy.Bundle, forceAll bool) error {
+	push := c.tel.StartSpan("deploy/push")
+	defer push.End()
 	changed := c.changedSwitches(newBundle, forceAll)
-	c.counters.Add("deploy.pushes", 1)
+	c.tel.Counter("deploy.pushes").Inc()
 
 	// Phase 1: stage everywhere. Failure here aborts with the active
 	// fabric untouched (staged slots are inert).
+	stage := push.Child("stage")
 	for _, sw := range changed {
 		if err := c.installVerify(sw, newBundle.Switches[sw]); err != nil {
-			c.counters.Add("deploy.aborted_staging", 1)
+			c.tel.Counter("deploy.aborted_staging").Inc()
+			stage.End()
 			return err
 		}
 	}
+	stage.End()
 
 	// Phase 2: flip. Track what flipped so we can roll back.
+	activate := push.Child("activate")
+	defer activate.End()
 	var activated []string
 	for _, sw := range changed {
 		if err := c.attempt(sw, OpActivate, func() error {
@@ -311,20 +330,22 @@ func (c *Controller) pushBundle(newBundle *deploy.Bundle, forceAll bool) error {
 // deploy.rollback.stuck) — operators must intervene, exactly as in a real
 // fabric.
 func (c *Controller) rollback(switches []string) {
-	c.counters.Add("deploy.rollbacks", 1)
+	defer c.tel.StartSpan("deploy/rollback").End()
+	c.tel.Counter("deploy.rollbacks").Inc()
 	prev := &deploy.Bundle{Switches: map[string]deploy.SwitchBundle{}}
 	if c.bundle != nil {
 		prev = c.bundle
 	}
 	for _, sw := range switches {
+		c.tel.Counter("deploy_rollbacks_total", "switch", sw).Inc()
 		if err := c.installVerify(sw, prev.Switches[sw]); err != nil {
-			c.counters.Add("deploy.rollback.stuck", 1)
+			c.tel.Counter("deploy.rollback.stuck").Inc()
 			continue
 		}
 		if err := c.attempt(sw, OpRollback, func() error {
 			return c.agent.Activate(sw)
 		}); err != nil {
-			c.counters.Add("deploy.rollback.stuck", 1)
+			c.tel.Counter("deploy.rollback.stuck").Inc()
 		}
 	}
 }

@@ -22,12 +22,13 @@ package controller
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 
 	"repro/internal/core"
 	"repro/internal/deploy"
 	"repro/internal/elp"
-	"repro/internal/metrics"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
 
@@ -124,7 +125,12 @@ type Controller struct {
 
 	auditLog []AuditEntry
 	auditSeq int
-	counters *metrics.Counters
+	// tel receives the deployment metrics (deploy.* counters, per-switch
+	// retry/rollback gauges) and the push-pipeline spans. Each controller
+	// gets its own registry by default so Counters() stays deterministic
+	// per instance; WithTelemetry points it at a shared one (e.g. the one
+	// an ops endpoint serves).
+	tel *telemetry.Registry
 }
 
 // Option customizes a controller at construction time.
@@ -144,6 +150,14 @@ func WithDeployConfig(cfg DeployConfig) Option {
 	}
 }
 
+// WithTelemetry points the controller's metrics and spans at the given
+// registry instead of a private one — the wiring for serving deployment
+// metrics from a process-wide ops endpoint. Sharing a registry across
+// controllers accumulates their counts.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(c *Controller) { c.tel = reg }
+}
+
 func newController(g *topology.Graph, policy ELPPolicy,
 	synth func(*topology.Graph, *elp.Set) (*core.System, error), opts []Option) (*Controller, error) {
 	ctl := &Controller{
@@ -152,7 +166,7 @@ func newController(g *topology.Graph, policy ELPPolicy,
 		synth:     synth,
 		agent:     newLoopbackAgent(),
 		deployCfg: DefaultDeployConfig(),
-		counters:  metrics.NewCounters(),
+		tel:       telemetry.NewRegistry(),
 	}
 	ctl.jitter = newJitter(ctl.deployCfg.JitterSeed)
 	for _, o := range opts {
@@ -221,13 +235,25 @@ func (c *Controller) Audit() []AuditEntry {
 	return append([]AuditEntry(nil), c.auditLog...)
 }
 
-// Counters returns a snapshot of the deployment metrics (attempts,
-// failures, rollbacks, backoff time).
+// Counters returns a snapshot of the deployment counters (attempts,
+// failures, rollbacks, backoff time): every telemetry counter in the
+// "deploy." namespace, unlabeled. Per-switch gauges and pipeline spans
+// live on the full registry (Telemetry()); this view stays deterministic
+// for a fixed fault schedule, which the chaos-soak determinism test
+// relies on.
 func (c *Controller) Counters() map[string]int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.counters.Snapshot()
+	out := make(map[string]int64)
+	for _, cs := range c.tel.Snapshot().Counters {
+		if strings.HasPrefix(cs.Name, "deploy.") && len(cs.Labels) == 0 {
+			out[cs.Name] = cs.Value
+		}
+	}
+	return out
 }
+
+// Telemetry returns the registry the controller reports into, for
+// merging into a process-wide ops registry or asserting on spans.
+func (c *Controller) Telemetry() *telemetry.Registry { return c.tel }
 
 // resync recomputes the system, pushes it through the fault-tolerant
 // pipeline, and records the diff against the previous deployment. On

@@ -1,6 +1,10 @@
 package core
 
-import "sort"
+import (
+	"sort"
+
+	"repro/internal/telemetry"
+)
 
 // GreedyMinimize implements the paper's Algorithm 2: it compresses the
 // tags of a brute-force tagged graph by greedily merging as many (port,
@@ -28,6 +32,7 @@ import "sort"
 // (every edge is some vertex's in-edge), so validation costs nothing
 // extra and stops at the first violation.
 func GreedyMinimize(bf *TaggedGraph) *TaggedGraph {
+	defer telemetry.Default.StartSpan("synth/alg2").End()
 	n := len(bf.nodes)
 
 	// Bucket vertex IDs by old tag (counting sort — byTag[start[t]:start[t+1]]
@@ -60,6 +65,9 @@ func GreedyMinimize(bf *TaggedGraph) *TaggedGraph {
 	deg := make([]int32, n)
 	var us []int32
 	tPrime := int32(1)
+	// Merge-loop telemetry: vertices admitted into the current new tag vs
+	// demoted to the next one. Tallied locally, exported once at the end.
+	var merges, demotions int64
 
 	for t := 1; t <= bf.maxTag; t++ {
 		// Process the least-constrained vertices first: those with the
@@ -103,8 +111,10 @@ func GreedyMinimize(bf *TaggedGraph) *TaggedGraph {
 			}
 			if sb.tryAdd(int32(bf.nodes[v].Port), us) {
 				newTag[v] = tPrime
+				merges++
 			} else {
 				newTag[v] = tPrime + 1
+				demotions++
 				demoted = true
 			}
 		}
@@ -115,6 +125,8 @@ func GreedyMinimize(bf *TaggedGraph) *TaggedGraph {
 			sb.reset()
 		}
 	}
+	telemetry.Default.Counter("synth_alg2_merges_total").Add(merges)
+	telemetry.Default.Counter("synth_alg2_demotions_total").Add(demotions)
 
 	// Materialize the merged graph: remap every vertex and edge through
 	// newTag. intern/addEdgeIDs collapse vertices (and dedup edges) that

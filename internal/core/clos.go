@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/routing"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
 
@@ -69,6 +70,7 @@ func ClosRules(g *topology.Graph, maxBounces, numClasses int) *Ruleset {
 // bounce-counting rules, verified against the ELP. It uses exactly
 // maxBounces+1 lossless priorities — provably the minimum (§4.4).
 func ClosSynthesize(g *topology.Graph, paths []routing.Path, maxBounces int) (*System, error) {
+	defer telemetry.Default.StartSpan("synth").End()
 	s := &System{Graph: g, ELP: paths}
 	s.Rules = ClosRules(g, maxBounces, 1)
 	var violations []routing.Path

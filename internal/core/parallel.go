@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/parallel"
 	"repro/internal/routing"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
 
@@ -15,6 +16,7 @@ import (
 // BruteForceN is BruteForce with an explicit worker count (0 =
 // GOMAXPROCS, 1 = serial). All worker counts produce the same graph.
 func BruteForceN(g *topology.Graph, paths []routing.Path, par int) *TaggedGraph {
+	defer telemetry.Default.StartSpan("synth/alg1").End()
 	w := parallel.Workers(par, len(paths))
 	if w <= 1 {
 		tg := NewTaggedGraph(g)
@@ -72,6 +74,7 @@ func replayPath(rs *Ruleset, tg *TaggedGraph, p routing.Path, startTag int) bool
 
 // buildRuleGraphN is BuildRuleGraph with an explicit worker count.
 func buildRuleGraphN(rs *Ruleset, paths []routing.Path, startTag, par int) (*TaggedGraph, []routing.Path) {
+	defer telemetry.Default.StartSpan("synth/runtime").End()
 	w := parallel.Workers(par, len(paths))
 	if w <= 1 {
 		tg := NewTaggedGraph(rs.g)

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/parallel"
 	"repro/internal/routing"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
 
@@ -229,6 +230,7 @@ func DeriveRules(tg *TaggedGraph) (*Ruleset, []Conflict) {
 // the minimum rewrite per key, so the result is independent of both edge
 // iteration order and worker count.
 func deriveRulesN(tg *TaggedGraph, par int) (*Ruleset, []Conflict) {
+	defer telemetry.Default.StartSpan("synth/rules").End()
 	type loser struct {
 		k  ruleKey
 		nt int

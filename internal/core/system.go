@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/routing"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
 
@@ -58,6 +59,7 @@ func (s *System) NumLosslessQueues() int { return s.Runtime.NumTags() }
 // deadlock-free; an error means a bug in this package, not bad input
 // (any loop-free ELP admits a valid tagging).
 func Synthesize(g *topology.Graph, paths []routing.Path, opts Options) (*System, error) {
+	defer telemetry.Default.StartSpan("synth").End()
 	if opts.StartTag == 0 {
 		opts.StartTag = 1
 	}

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/parallel"
 	"repro/internal/routing"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
 
@@ -95,6 +96,7 @@ func (s *Set) LongestHops() int {
 // shortest valley-free path. Endpoints are typically the ToR switches of a
 // Clos. Unreachable pairs are skipped.
 func UpDownAll(g *topology.Graph, endpoints []topology.NodeID) *Set {
+	defer telemetry.Default.StartSpan("synth/elp").End()
 	s := NewSet()
 	for _, a := range endpoints {
 		for _, b := range endpoints {
@@ -119,6 +121,7 @@ func UpDownAll(g *topology.Graph, endpoints []topology.NodeID) *Set {
 // The shortest (0-bounce) paths are included, so the result is the
 // "shortest plus up-to-k-bounce" ELP the paper uses for Clos.
 func KBounce(g *topology.Graph, endpoints []topology.NodeID, k int, via []topology.NodeID) *Set {
+	defer telemetry.Default.StartSpan("synth/elp").End()
 	if via == nil {
 		via = g.Switches()
 	}
@@ -207,6 +210,7 @@ func ShortestAll(g *topology.Graph, endpoints []topology.NodeID) *Set {
 // is independent — and the per-source path lists are folded into the set
 // in source order, so every worker count yields the same set.
 func ShortestAllN(g *topology.Graph, endpoints []topology.NodeID, par int) *Set {
+	defer telemetry.Default.StartSpan("synth/elp").End()
 	w := parallel.Workers(par, len(endpoints))
 	if w <= 1 {
 		s := NewSet()

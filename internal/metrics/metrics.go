@@ -8,6 +8,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Table accumulates rows and renders them with aligned columns.
@@ -85,11 +86,16 @@ func (t *Table) String() string {
 	return b.String()
 }
 
-// Counters is a named-counter set with deterministic rendering, the
-// export surface for operational subsystems (the controller's deployment
-// pipeline, the chaos harness). It is not safe for concurrent use; owners
-// serialize access under their own lock.
+// Counters is a named-counter set with deterministic rendering. It is
+// safe for concurrent use (all methods take an internal mutex).
+//
+// Deprecated: new code should use the telemetry registry
+// (repro/internal/telemetry), which adds labels, gauges, histograms and
+// Prometheus/JSONL export. The former owners (the controller deploy
+// pipeline, the chaos harness) have migrated; this type remains for
+// small throwaway tallies only.
 type Counters struct {
+	mu   sync.Mutex
 	vals map[string]int64
 }
 
@@ -100,14 +106,26 @@ func NewCounters() *Counters {
 
 // Add increments the named counter by delta (creating it at zero).
 func (c *Counters) Add(name string, delta int64) {
+	c.mu.Lock()
 	c.vals[name] += delta
+	c.mu.Unlock()
 }
 
 // Get returns the named counter (zero if never incremented).
-func (c *Counters) Get(name string) int64 { return c.vals[name] }
+func (c *Counters) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.vals[name]
+}
 
 // Names returns every counter name in sorted order.
 func (c *Counters) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.namesLocked()
+}
+
+func (c *Counters) namesLocked() []string {
 	names := make([]string, 0, len(c.vals))
 	for n := range c.vals {
 		names = append(names, n)
@@ -118,6 +136,8 @@ func (c *Counters) Names() []string {
 
 // Snapshot returns a copy of the counter map, decoupled from the live set.
 func (c *Counters) Snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	out := make(map[string]int64, len(c.vals))
 	for k, v := range c.vals {
 		out[k] = v
@@ -128,8 +148,10 @@ func (c *Counters) Snapshot() map[string]int64 {
 // String renders the counters as an aligned two-column table, names
 // sorted, so output is stable across runs.
 func (c *Counters) String() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	t := NewTable("counter", "value")
-	for _, n := range c.Names() {
+	for _, n := range c.namesLocked() {
 		t.AddRow(n, c.vals[n])
 	}
 	return t.String()

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/routing"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
 
@@ -73,6 +74,10 @@ type portRT struct {
 	inBytes        []int64
 	pausedUpstream []bool
 	maxInBytes     int64 // high-water mark, for headroom verification
+	// pauseStart records, per priority, the sim time the current PAUSE was
+	// asserted (telemetry: pause-duration histograms). Valid only while
+	// pausedUpstream is set.
+	pauseStart []int64
 }
 
 // nodeRT is the runtime state of one node.
@@ -138,6 +143,11 @@ type Network struct {
 	// deadlock onsets (see trace.go).
 	tracer     Tracer
 	inDeadlock bool
+
+	// tel, when non-nil, receives the simulator's operational metrics:
+	// per-link PFC pause-duration histograms, lossless ingress queue
+	// depths, and time-to-first-deadlock (see SetTelemetry).
+	tel *telemetry.Registry
 }
 
 // New builds a simulator over the topology and forwarding tables. The
@@ -162,6 +172,7 @@ func New(g *topology.Graph, tables *routing.Tables, cfg Config) *Network {
 				egressPaused:   make([]bool, nPrio),
 				inBytes:        make([]int64, nPrio),
 				pausedUpstream: make([]bool, nPrio),
+				pauseStart:     make([]int64, nPrio),
 			}
 		}
 	}
@@ -174,9 +185,23 @@ func New(g *topology.Graph, tables *routing.Tables, cfg Config) *Network {
 func (n *Network) InstallTagger(rs *core.Ruleset) { n.rules = rs }
 
 // SetLegacyEgress selects the broken §7 behavior where the egress queue
-// is chosen by the packet's OLD priority (Figure 8a). Only meaningful
+// is chosen by the packet's OLD tag (Figure 8a). Only meaningful
 // with a ruleset installed.
 func (n *Network) SetLegacyEgress(v bool) { n.legacyEgress = v }
+
+// SetTelemetry points the simulator's operational metrics at the given
+// registry (nil disables them, the default). The simulator records:
+//
+//	sim_pause_frames_total / sim_resume_frames_total  counters
+//	sim_pause_duration_seconds{link}                  histogram, per pausing link
+//	sim_queue_depth_bytes{node}                       histogram, lossless ingress
+//	                                                  occupancy at PFC transitions
+//	sim_deadlock_onsets_total                         counter
+//	sim_time_to_deadlock_seconds                      gauge, first onset this run
+//
+// Enabling telemetry also arms deadlock-onset detection on pause
+// emission (normally armed only when a tracer is attached).
+func (n *Network) SetTelemetry(reg *telemetry.Registry) { n.tel = reg }
 
 // Graph returns the topology.
 func (n *Network) Graph() *topology.Graph { return n.g }
@@ -485,6 +510,9 @@ func (n *Network) sendPFC(rt *nodeRT, port, prio int, on bool) {
 	} else {
 		n.ResumeFrames++
 	}
+	if n.tel != nil {
+		n.telemetryPFC(rt, port, prio, on)
+	}
 	if n.tracer != nil {
 		kind := "resume"
 		if on {
@@ -492,17 +520,24 @@ func (n *Network) sendPFC(rt *nodeRT, port, prio int, on bool) {
 		}
 		n.trace(TraceEvent{Kind: kind, Node: n.nodeName(rt.id),
 			Peer: n.nodeName(rt.ports[port].peer), Prio: prio})
-		// Deadlock onset detection, piggybacked on pause emission to stay
-		// off the fast path when tracing is disabled.
-		if on {
-			if cyc := n.DetectDeadlock(); cyc != nil {
-				if !n.inDeadlock {
-					n.inDeadlock = true
-					n.trace(TraceEvent{Kind: "deadlock", Node: n.nodeName(rt.id), Cycle: cyc})
+	}
+	// Deadlock onset detection, piggybacked on pause emission to stay off
+	// the fast path when neither tracing nor telemetry is attached.
+	if on && (n.tracer != nil || n.tel != nil) {
+		if cyc := n.DetectDeadlock(); cyc != nil {
+			if !n.inDeadlock {
+				n.inDeadlock = true
+				n.trace(TraceEvent{Kind: "deadlock", Node: n.nodeName(rt.id), Cycle: cyc})
+				if n.tel != nil {
+					n.tel.Counter("sim_deadlock_onsets_total").Inc()
+					g := n.tel.Gauge("sim_time_to_deadlock_seconds")
+					if g.Value() == 0 {
+						g.Set(time.Duration(n.now).Seconds())
+					}
 				}
-			} else {
-				n.inDeadlock = false
 			}
+		} else {
+			n.inDeadlock = false
 		}
 	}
 	prt := &rt.ports[port]
@@ -512,6 +547,25 @@ func (n *Network) sendPFC(rt *nodeRT, port, prio int, on bool) {
 		node: int(prt.peer), port: int(prt.peerPort),
 		prio: prio, on: on,
 	})
+}
+
+// telemetryPFC records the PFC-transition metrics: pause/resume frame
+// counters, the lossless ingress occupancy at the transition, and — on
+// resume — how long the upstream link spent paused. The link label names
+// the pause direction: "pauser->paused-peer".
+func (n *Network) telemetryPFC(rt *nodeRT, port, prio int, on bool) {
+	prt := &rt.ports[port]
+	link := n.nodeName(rt.id) + "->" + n.nodeName(prt.peer)
+	if on {
+		n.tel.Counter("sim_pause_frames_total").Inc()
+		prt.pauseStart[prio] = n.now
+	} else {
+		n.tel.Counter("sim_resume_frames_total").Inc()
+		n.tel.Histogram("sim_pause_duration_seconds", telemetry.DurationBuckets(), "link", link).
+			ObserveDuration(n.now - prt.pauseStart[prio])
+	}
+	n.tel.Histogram("sim_queue_depth_bytes", telemetry.ByteBuckets(), "node", n.nodeName(rt.id)).
+		Observe(float64(prt.inBytes[prio]))
 }
 
 func (n *Network) pfcEffect(nodeIdx, port, prio int, on bool) {

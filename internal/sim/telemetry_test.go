@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/routing"
+	"repro/internal/telemetry"
+)
+
+func labelVal(ls []telemetry.Label, k string) string {
+	for _, l := range ls {
+		if l.K == k {
+			return l.V
+		}
+	}
+	return ""
+}
+
+func TestTelemetryPauseHistograms(t *testing.T) {
+	c, _, n := testbedNet(t, routing.UpDown)
+	g := c.Graph
+	reg := telemetry.NewRegistry()
+	n.SetTelemetry(reg)
+	n.AddFlow(FlowSpec{Name: "a", Src: g.MustLookup("H5"), Dst: g.MustLookup("H1")})
+	n.AddFlow(FlowSpec{Name: "b", Src: g.MustLookup("H9"), Dst: g.MustLookup("H1")})
+	n.Run(5 * time.Millisecond)
+
+	if n.PauseFrames == 0 || n.ResumeFrames == 0 {
+		t.Fatalf("scenario produced no PFC: %d pauses, %d resumes", n.PauseFrames, n.ResumeFrames)
+	}
+	snap := reg.Snapshot()
+	counters := map[string]int64{}
+	for _, cs := range snap.Counters {
+		counters[cs.Name] += cs.Value
+	}
+	if counters["sim_pause_frames_total"] != n.PauseFrames {
+		t.Errorf("sim_pause_frames_total = %d, want %d", counters["sim_pause_frames_total"], n.PauseFrames)
+	}
+	if counters["sim_resume_frames_total"] != n.ResumeFrames {
+		t.Errorf("sim_resume_frames_total = %d, want %d", counters["sim_resume_frames_total"], n.ResumeFrames)
+	}
+	// Every resume closes exactly one pause interval, so the per-link
+	// duration histograms must hold one observation per RESUME frame.
+	var durObs, depthObs int64
+	for _, hs := range snap.Hists {
+		switch hs.Name {
+		case "sim_pause_duration_seconds":
+			durObs += hs.Count
+			if labelVal(hs.Labels, "link") == "" {
+				t.Errorf("pause-duration series without link label: %+v", hs.Labels)
+			}
+			if hs.Min < 0 {
+				t.Errorf("negative pause duration: %v", hs.Min)
+			}
+		case "sim_queue_depth_bytes":
+			depthObs += hs.Count
+			if labelVal(hs.Labels, "node") == "" {
+				t.Errorf("queue-depth series without node label: %+v", hs.Labels)
+			}
+		}
+	}
+	if durObs != n.ResumeFrames {
+		t.Errorf("pause-duration observations = %d, want %d (one per resume)", durObs, n.ResumeFrames)
+	}
+	if want := n.PauseFrames + n.ResumeFrames; depthObs != want {
+		t.Errorf("queue-depth observations = %d, want %d (one per PFC transition)", depthObs, want)
+	}
+	if counters["sim_deadlock_onsets_total"] != 0 {
+		t.Errorf("phantom deadlock onset in congestion-only run")
+	}
+}
+
+func TestTelemetryDeadlockOnset(t *testing.T) {
+	c, tb, n := testbedNet(t, routing.UpDown)
+	g := c.Graph
+	forceFig3Routes(c, tb)
+	reg := telemetry.NewRegistry()
+	n.SetTelemetry(reg) // no tracer: telemetry alone must arm onset detection
+	n.AddFlow(FlowSpec{Name: "green", Src: g.MustLookup("H9"), Dst: g.MustLookup("H1")})
+	n.AddFlow(FlowSpec{Name: "blue", Src: g.MustLookup("H2"), Dst: g.MustLookup("H13"),
+		Start: time.Millisecond})
+	n.Run(10 * time.Millisecond)
+
+	snap := reg.Snapshot()
+	var onsets int64
+	var ttd float64
+	for _, cs := range snap.Counters {
+		if cs.Name == "sim_deadlock_onsets_total" {
+			onsets = cs.Value
+		}
+	}
+	for _, gs := range snap.Gauges {
+		if gs.Name == "sim_time_to_deadlock_seconds" {
+			ttd = gs.Value
+		}
+	}
+	if onsets == 0 {
+		t.Fatal("no deadlock onset counted")
+	}
+	if ttd <= 0 || ttd > 0.010 {
+		t.Errorf("time-to-deadlock = %v s, want within (0, 10ms]", ttd)
+	}
+}

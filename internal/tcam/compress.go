@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/parallel"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
 
@@ -51,6 +52,7 @@ func Compress(rules []core.Rule) []Entry {
 // compressed chunk-wise in parallel, and concatenated — identical output
 // for every worker count. Ungrouped input falls back to one chunk.
 func CompressN(rules []core.Rule, par int) []Entry {
+	defer telemetry.Default.StartSpan("synth/tcam").End()
 	w := parallel.Workers(par, len(rules))
 	chunks := switchChunks(rules, w)
 	if len(chunks) <= 1 {

@@ -1,0 +1,81 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramBucketsAndOverflow(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500, 5000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// SearchFloat64s: values equal to a bound land in that bound's bucket.
+	want := []int64{2, 1, 1, 2}
+	for i, c := range s.Counts {
+		if c != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (all %v)", i, c, want[i], s.Counts)
+		}
+	}
+	if s.Count != 6 || s.Sum != 5556.5 {
+		t.Fatalf("count/sum = %d/%v, want 6/5556.5", s.Count, s.Sum)
+	}
+	if s.Min != 0.5 || s.Max != 5000 {
+		t.Fatalf("min/max = %v/%v, want 0.5/5000", s.Min, s.Max)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(ExpBuckets(1, 2, 12)) // 1..2048
+	for v := 1.0; v <= 1000; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	for _, tc := range []struct{ q, lo, hi float64 }{
+		{0.50, 400, 600},
+		{0.95, 850, 1000},
+		{0.99, 950, 1000},
+	} {
+		got := s.Quantile(tc.q)
+		if got < tc.lo || got > tc.hi {
+			t.Errorf("q%.2f = %v, want within [%v, %v]", tc.q, got, tc.lo, tc.hi)
+		}
+	}
+	if got := s.Quantile(1); got != 1000 {
+		t.Errorf("q1 = %v, want the max 1000", got)
+	}
+}
+
+func TestHistogramQuantileEmptyAndSingle(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	if !math.IsNaN(h.Snapshot().Quantile(0.5)) {
+		t.Fatal("empty histogram quantile must be NaN")
+	}
+	h.Observe(1.5)
+	s := h.Snapshot()
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != 1.5 {
+			t.Fatalf("single-sample q%v = %v, want exactly 1.5 (min==max clamp)", q, got)
+		}
+	}
+}
+
+func TestObserveDuration(t *testing.T) {
+	h := NewHistogram(DurationBuckets())
+	h.ObserveDuration(2_500_000) // 2.5ms
+	s := h.Snapshot()
+	if s.Count != 1 || s.Sum != 0.0025 {
+		t.Fatalf("count/sum = %d/%v, want 1/0.0025s", s.Count, s.Sum)
+	}
+}
+
+func TestExpBucketsShape(t *testing.T) {
+	bs := ExpBuckets(1e-6, 2, 4)
+	want := []float64{1e-6, 2e-6, 4e-6, 8e-6}
+	for i := range want {
+		if math.Abs(bs[i]-want[i]) > 1e-15 {
+			t.Fatalf("bucket %d = %v, want %v", i, bs[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,67 @@
+// Package profile is the shared -cpuprofile/-memprofile plumbing for the
+// CLIs (taggerscale, taggersim, taggerfuzz), so every long-running
+// command grows profiling support by registering two flags instead of
+// re-implementing the pprof lifecycle.
+package profile
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Config holds the profile output paths, normally bound to flags via
+// AddFlags. Empty paths disable the respective profile.
+type Config struct {
+	CPU string
+	Mem string
+}
+
+// AddFlags registers -cpuprofile and -memprofile on the flag set (pass
+// flag.CommandLine for a CLI's top level) and returns the config the
+// parsed values land in.
+func AddFlags(fs *flag.FlagSet) *Config {
+	c := &Config{}
+	fs.StringVar(&c.CPU, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&c.Mem, "memprofile", "", "write a heap profile to this file on exit")
+	return c
+}
+
+// Start begins CPU profiling when configured and returns a stop function
+// that ends it and writes the heap profile. Callers defer stop()
+// immediately; with both paths empty it is a no-op.
+func (c *Config) Start() (stop func() error, err error) {
+	var cpuFile *os.File
+	if c.CPU != "" {
+		cpuFile, err = os.Create(c.CPU)
+		if err != nil {
+			return nil, fmt.Errorf("profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("profile: %w", err)
+			}
+		}
+		if c.Mem != "" {
+			f, err := os.Create(c.Mem)
+			if err != nil {
+				return fmt.Errorf("profile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // measure retained heap, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -5,7 +5,7 @@ BENCH_OUT ?= BENCH_$(shell date +%F).json
 # benchmarks and fails on a >15% time regression against that snapshot.
 BENCH_BASELINE ?=
 
-.PHONY: all check build vet test determinism race bench benchdiff benchgate telemetry-overhead fuzz fuzz-smoke cover examples experiments clean
+.PHONY: all check build vet test determinism race bench bench-sim benchdiff benchgate telemetry-overhead fuzz fuzz-smoke cover examples experiments clean
 
 all: check
 
@@ -24,10 +24,12 @@ vet:
 test:
 	$(GO) test ./...
 
-# The par=1 vs par=N equivalence proof, under the race detector: the
-# parallel synthesis path must emit byte-identical rules and graphs.
+# The par=1 vs par=N equivalence proofs, under the race detector: the
+# parallel synthesis path must emit byte-identical rules and graphs, and
+# the sweep runner's verdicts and merged telemetry must be independent of
+# the worker count.
 determinism:
-	$(GO) test -race -run 'TestParallelDeterminism' .
+	$(GO) test -race -run 'TestParallelDeterminism|TestChaosSweepParDeterminism' .
 
 race:
 	$(GO) test -race ./...
@@ -38,6 +40,13 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) ./... | tee /tmp/bench_run.txt
 	$(GO) run ./cmd/benchdiff -record $(BENCH_OUT) /tmp/bench_run.txt
+
+# The event-engine microbenchmarks alone: heap schedule/dispatch,
+# steady-state forwarding (allocs/op must read 0 — gated by
+# TestSteadyStateZeroAlloc and the benchgate's -alloc-threshold), and the
+# large-Clos soak slice the sweep runner fans out over.
+bench-sim:
+	$(GO) test -run '^$$' -bench 'BenchmarkEventScheduleDispatch|BenchmarkSteadyStateForwarding|BenchmarkLargeClosSoak' -benchmem -benchtime $(BENCHTIME) ./internal/sim/
 
 # Compares two snapshots; fails on a >15% time regression.
 # Usage: make benchdiff OLD=BENCH_seed.json NEW=BENCH_2026-08-05.json
@@ -50,7 +59,7 @@ ifeq ($(strip $(BENCH_BASELINE)),)
 else
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) ./... > /tmp/benchgate_run.txt
 	$(GO) run ./cmd/benchdiff -record /tmp/benchgate_run.json /tmp/benchgate_run.txt
-	$(GO) run ./cmd/benchdiff $(BENCH_BASELINE) /tmp/benchgate_run.json
+	$(GO) run ./cmd/benchdiff -alloc-threshold 0.50 $(BENCH_BASELINE) /tmp/benchgate_run.json
 endif
 
 # Telemetry must be near-free for hot synthesis code: the instrumented

@@ -11,6 +11,12 @@
 //
 //	benchdiff BENCH_seed.json BENCH_2026-08-05.json
 //	benchdiff -threshold 0.30 old.json new.json
+//
+// With -alloc-threshold set, allocs/op and bytes/op are gated too; a
+// benchmark that was allocation-free in the baseline fails on any
+// allocation at all:
+//
+//	benchdiff -alloc-threshold 0.10 old.json new.json
 package main
 
 import (
@@ -30,10 +36,11 @@ func main() {
 	var (
 		record    = flag.String("record", "", "parse benchmark text into this JSON snapshot instead of comparing")
 		threshold = flag.Float64("threshold", 0.15, "time regression tolerance (0.15 = +15%)")
+		allocThr  = flag.Float64("alloc-threshold", -1, "allocs/op and bytes/op regression tolerance; negative disables the allocation gate")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: benchdiff -record out.json [bench.txt]\n       benchdiff [-threshold 0.15] old.json new.json\n")
+			"usage: benchdiff -record out.json [bench.txt]\n       benchdiff [-threshold 0.15] [-alloc-threshold 0.10] old.json new.json\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -57,13 +64,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	deltas := benchfmt.Compare(old, cur, *threshold)
+	deltas := benchfmt.Compare(old, cur, *threshold, *allocThr)
 	if len(deltas) == 0 {
 		log.Fatalf("no common benchmarks between %s and %s", flag.Arg(0), flag.Arg(1))
 	}
 	fmt.Print(benchfmt.FormatDeltas(deltas))
 	if benchfmt.AnyRegression(deltas) {
-		log.Fatalf("time regression beyond %.0f%% threshold", *threshold*100)
+		log.Fatalf("regression beyond threshold (time %.0f%%, alloc %.0f%%)", *threshold*100, *allocThr*100)
 	}
 	fmt.Printf("ok: %d benchmarks within %.0f%% of baseline\n", len(deltas), *threshold*100)
 }

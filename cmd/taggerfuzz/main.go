@@ -8,8 +8,12 @@
 // configuration that still fails and writes a runnable Go test to the
 // corpus directory, so the divergence survives as a regression test:
 //
-//	taggerfuzz -seeds 200 -topo all
+//	taggerfuzz -seeds 200 -topo all -par 8
 //	taggerfuzz -topo jellyfish -seed 1337 -seeds 1   # replay one seed
+//
+// The seed sweep fans across -par workers (runs are independent; verdicts
+// and repro output are reported in seed order, so -par never changes what
+// the command prints or writes). Shrinking runs serially after the sweep.
 //
 // The exit status is the number of failing seeds (capped at 125), so CI
 // can gate on it directly.
@@ -23,6 +27,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/check"
+	"repro/internal/sweep"
 	"repro/internal/telemetry/profile"
 )
 
@@ -34,6 +39,7 @@ func main() {
 		out   = flag.String("out", filepath.Join("internal", "check", "testdata", "fuzz-corpus"),
 			"directory for shrunk repro tests")
 		quiet = flag.Bool("q", false, "only report failures and the final tally")
+		par   = flag.Int("par", 0, "sweep worker count (0 = GOMAXPROCS, 1 = serial)")
 	)
 	prof := profile.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -63,27 +69,36 @@ func main() {
 		}
 	}
 
+	// One verdict per (topology, seed). The sweep itself never errors —
+	// a failing battery is the verdict, carried in the result.
+	type verdict struct {
+		c   check.Case
+		err error
+	}
 	failures := 0
 	for _, t := range topos {
-		for i := 0; i < *seeds; i++ {
-			seed := *base + int64(i)
-			c := check.GenCase(t, seed)
-			err := check.RunCase(c)
-			if err == nil {
+		t := t
+		verdicts, _ := sweep.Run(sweep.Seeds(*base, *seeds), *par,
+			func(seed int64) (verdict, error) {
+				c := check.GenCase(t, seed)
+				return verdict{c: c, err: check.RunCase(c)}, nil
+			})
+		for _, v := range verdicts {
+			if v.err == nil {
 				if !*quiet {
-					fmt.Printf("ok   %s\n", c)
+					fmt.Printf("ok   %s\n", v.c)
 				}
 				continue
 			}
 			failures++
-			fmt.Printf("FAIL %s\n     %v\n", c, err)
-			min := check.Shrink(c, func(c check.Case) bool { return check.RunCase(c) != nil })
+			fmt.Printf("FAIL %s\n     %v\n", v.c, v.err)
+			min := check.Shrink(v.c, func(c check.Case) bool { return check.RunCase(c) != nil })
 			minErr := check.RunCase(min)
 			if minErr == nil {
 				// Shrink guarantees the returned case fails its predicate;
 				// a pass here means the failure is flaky — report the
 				// original instead of emitting a lying repro.
-				min, minErr = c, err
+				min, minErr = v.c, v.err
 			}
 			fmt.Printf("     shrunk to %s\n", min)
 			path := filepath.Join(*out, fmt.Sprintf("repro_%s_test.go", check.ReproName(min)))

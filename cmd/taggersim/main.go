@@ -8,7 +8,7 @@
 //	taggersim -exp fig12            # PAUSE propagation (Figure 12)
 //	taggersim -exp table1 -days 7   # reroute measurement (Table 1)
 //	taggersim -exp overhead         # §8 performance penalty
-//	taggersim -exp chaos -seeds 3   # seeded chaos soak with watchdog
+//	taggersim -exp chaos -runs 32 -par 8   # seeded chaos sweep, 8 workers
 //
 // Each figure experiment runs twice — without and with Tagger — matching
 // the paper's paired plots.
@@ -24,6 +24,7 @@ import (
 
 	tagger "repro"
 	"repro/internal/metrics"
+	"repro/internal/sweep"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/profile"
 )
@@ -41,6 +42,8 @@ func main() {
 	var (
 		exp    = flag.String("exp", "fig10", "experiment: fig10, fig11, fig12, table1, overhead, multiclass, recovery, dcqcn, budget, compression, isolation, reconverge, chaos")
 		seeds  = flag.Int("seeds", 3, "chaos: number of fault schedules to run (seeds 1..n)")
+		runs   = flag.Int("runs", 0, "chaos: number of seeded runs in the sweep (overrides -seeds)")
+		par    = flag.Int("par", 1, "chaos: sweep worker count (0 = GOMAXPROCS); results are par-independent")
 		days   = flag.Int("days", 7, "table1: days to simulate")
 		perDay = flag.Int64("per-day", 1_000_000, "table1: measurements per day")
 		trace  = flag.String("trace", "", "write a JSONL event trace of figure experiments to this file")
@@ -156,27 +159,33 @@ func main() {
 		fmt.Println("=== WITH Tagger (k=1) ===")
 		printExperiment(tagger.Reconvergence(true, 8))
 	case "chaos":
-		fmt.Printf("chaos soak: %d seeded fault schedules over the testbed (link flaps,\n", *seeds)
+		n := *seeds
+		if *runs > 0 {
+			n = *runs
+		}
+		fmt.Printf("chaos soak: %d seeded fault schedules over the testbed (link flaps,\n", n)
 		fmt.Println("switch reboots, faulty switch agents); a 500us watchdog samples for")
 		fmt.Println("pause-wait cycles; Tagger rules deploy through the unreliable agents")
 		fmt.Println()
-		for seed := int64(1); seed <= int64(*seeds); seed++ {
-			with, err := tagger.ChaosSoakWithTelemetry(seed, true, opsReg)
-			if err != nil {
-				log.Fatal(err)
-			}
-			without, err := tagger.ChaosSoakWithTelemetry(seed, false, opsReg)
-			if err != nil {
-				log.Fatal(err)
-			}
+		sd := sweep.Seeds(1, n)
+		with, err := tagger.ChaosSweep(sd, true, *par, opsReg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		without, err := tagger.ChaosSweep(sd, false, *par, opsReg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, seed := range sd {
+			w, wo := with[i], without[i]
 			fmt.Printf("seed %-3d %2d faults | with Tagger: clean=%v (bring-up attempts=%d, install failures=%d, partial installs caught=%d) | without: deadlocked=%v (%d/%d samples)\n",
-				seed, with.Faults, with.Clean(), with.DeployAttempts,
-				with.DeployCounters["deploy.install.fail"],
-				with.DeployCounters["deploy.partial_detected"],
-				without.Deadlocked, without.Watchdog.DeadlockSamples, without.Watchdog.Samples)
-			if without.FirstDeadlock != nil {
+				seed, w.Faults, w.Clean(), w.DeployAttempts,
+				w.DeployCounters["deploy.install.fail"],
+				w.DeployCounters["deploy.partial_detected"],
+				wo.Deadlocked, wo.Watchdog.DeadlockSamples, wo.Watchdog.Samples)
+			if wo.FirstDeadlock != nil {
 				fmt.Printf("         first cycle at %v: %s\n",
-					without.Watchdog.FirstDeadlockAt, tagger.DeadlockString(without.FirstDeadlock))
+					wo.Watchdog.FirstDeadlockAt, tagger.DeadlockString(wo.FirstDeadlock))
 			}
 		}
 	case "compression":

@@ -16,6 +16,7 @@ import (
 	"repro/internal/pfc"
 	"repro/internal/routing"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/tcam"
 	"repro/internal/telemetry"
 	"repro/internal/topology"
@@ -705,6 +706,19 @@ func ChaosSoakWithTelemetry(seed int64, withTagger bool, reg *telemetry.Registry
 	res.FirstDeadlock = wd.FirstDeadlock
 	res.Drops = s.Net.Drops()
 	return res, nil
+}
+
+// ChaosSweep runs one independent chaos soak per seed, fanned across par
+// workers (par <= 0 means GOMAXPROCS), and returns the verdicts in seed
+// order. Each run owns its Network and — when reg is non-nil — a private
+// telemetry registry, merged into reg in seed order after every run
+// completes, so par=1 and par=N produce identical results and identical
+// aggregate telemetry (the -race determinism gate pins this).
+func ChaosSweep(seeds []int64, withTagger bool, par int, reg *telemetry.Registry) ([]ChaosSoakResult, error) {
+	return sweep.RunMerged(seeds, par, reg,
+		func(seed int64, runReg *telemetry.Registry) (ChaosSoakResult, error) {
+			return ChaosSoakWithTelemetry(seed, withTagger, runReg)
+		})
 }
 
 // --- §7 compression ablation -------------------------------------------------------------

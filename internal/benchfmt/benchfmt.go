@@ -151,13 +151,23 @@ type Delta struct {
 	TimeRatio  float64 // new/old; 1.20 = 20% slower
 	OldAllocs  float64
 	NewAllocs  float64
+	OldBytes   float64
+	NewBytes   float64
 	Regression bool // time ratio exceeded the threshold
+	// AllocRegression flags allocs/op or bytes/op growth beyond the
+	// allocation threshold, including a zero-alloc benchmark starting to
+	// allocate at all (the engine's steady-state contract).
+	AllocRegression bool
 }
 
 // Compare matches benchmarks by name and flags every one whose ns/op
-// grew by more than threshold (0.15 = +15%). Benchmarks present in only
-// one snapshot are skipped — the gate judges only common ground.
-func Compare(old, new *File, threshold float64) []Delta {
+// grew by more than threshold (0.15 = +15%), or whose allocs/op or
+// bytes/op grew by more than allocThreshold. A negative allocThreshold
+// disables allocation gating (needed when snapshots come from runs
+// without -benchmem, or with deliberately different instrumentation).
+// Benchmarks present in only one snapshot are skipped — the gate judges
+// only common ground.
+func Compare(old, new *File, threshold, allocThreshold float64) []Delta {
 	idx := make(map[string]Benchmark, len(old.Benchmarks))
 	for _, b := range old.Benchmarks {
 		idx[b.Name] = b
@@ -175,18 +185,34 @@ func Compare(old, new *File, threshold float64) []Delta {
 			TimeRatio: nb.NsPerOp / ob.NsPerOp,
 			OldAllocs: ob.AllocsPerOp,
 			NewAllocs: nb.AllocsPerOp,
+			OldBytes:  ob.BytesPerOp,
+			NewBytes:  nb.BytesPerOp,
 		}
 		d.Regression = d.TimeRatio > 1+threshold
+		if allocThreshold >= 0 {
+			d.AllocRegression = allocGrew(d.OldAllocs, d.NewAllocs, allocThreshold) ||
+				allocGrew(d.OldBytes, d.NewBytes, allocThreshold)
+		}
 		out = append(out, d)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 
-// AnyRegression reports whether some delta tripped the threshold.
+// allocGrew applies the allocation gate to one old/new counter pair.
+// Zero-to-nonzero is always a regression: no ratio tolerance can excuse a
+// benchmark that used to run allocation-free.
+func allocGrew(old, new, threshold float64) bool {
+	if old == 0 {
+		return new > 0
+	}
+	return new/old > 1+threshold
+}
+
+// AnyRegression reports whether some delta tripped a threshold.
 func AnyRegression(deltas []Delta) bool {
 	for _, d := range deltas {
-		if d.Regression {
+		if d.Regression || d.AllocRegression {
 			return true
 		}
 	}
@@ -201,6 +227,9 @@ func FormatDeltas(deltas []Delta) string {
 		mark := ""
 		if d.Regression {
 			mark = "  << REGRESSION"
+		}
+		if d.AllocRegression {
+			mark += "  << ALLOC REGRESSION"
 		}
 		fmt.Fprintf(&b, "%-40s %14.0f %14.0f %7.2fx %6.0f->%-6.0f%s\n",
 			d.Name, d.OldNs, d.NewNs, d.TimeRatio, d.OldAllocs, d.NewAllocs, mark)

@@ -66,7 +66,7 @@ func TestCompareThreshold(t *testing.T) {
 		bench("BenchmarkFaster", 50e6, 500),
 		bench("BenchmarkAdded", 100e6, 1000),
 	}}
-	deltas := Compare(old, cur, 0.15)
+	deltas := Compare(old, cur, 0.15, -1)
 	if len(deltas) != 3 {
 		t.Fatalf("got %d deltas, want 3 (unmatched names skipped)", len(deltas))
 	}
@@ -92,6 +92,53 @@ func TestCompareThreshold(t *testing.T) {
 	}
 }
 
+// TestCompareAllocThreshold: the allocation gate trips on allocs/op or
+// bytes/op growth beyond its own threshold, treats zero-to-nonzero as an
+// unconditional failure (the steady-state zero-alloc contract), and
+// disengages entirely when negative.
+func TestCompareAllocThreshold(t *testing.T) {
+	mem := func(name string, ns, allocs, bytes float64) Benchmark {
+		return Benchmark{Name: name, N: 1, NsPerOp: ns, AllocsPerOp: allocs, BytesPerOp: bytes}
+	}
+	old := &File{Benchmarks: []Benchmark{
+		mem("BenchmarkAllocGrew", 100, 1000, 8000),
+		mem("BenchmarkBytesGrew", 100, 1000, 8000),
+		mem("BenchmarkZeroToNonzero", 100, 0, 0),
+		mem("BenchmarkWithin", 100, 1000, 8000),
+	}}
+	cur := &File{Benchmarks: []Benchmark{
+		mem("BenchmarkAllocGrew", 100, 1200, 8000), // +20% allocs/op
+		mem("BenchmarkBytesGrew", 100, 1000, 9600), // +20% bytes/op
+		mem("BenchmarkZeroToNonzero", 100, 1, 16),  // was allocation-free
+		mem("BenchmarkWithin", 100, 1050, 8400),    // +5%: under threshold
+	}}
+	byName := map[string]Delta{}
+	for _, d := range Compare(old, cur, 0.15, 0.10) {
+		byName[d.Name] = d
+	}
+	for _, name := range []string{"BenchmarkAllocGrew", "BenchmarkBytesGrew", "BenchmarkZeroToNonzero"} {
+		if !byName[name].AllocRegression {
+			t.Errorf("%s not flagged as alloc regression", name)
+		}
+		if byName[name].Regression {
+			t.Errorf("%s flagged as time regression; only its allocations grew", name)
+		}
+	}
+	if byName["BenchmarkWithin"].AllocRegression {
+		t.Error("+5%% allocation growth flagged at 10%% threshold")
+	}
+	if !AnyRegression(Compare(old, cur, 0.15, 0.10)) {
+		t.Error("AnyRegression missed the alloc-only regressions")
+	}
+	if AnyRegression(Compare(old, cur, 0.15, -1)) {
+		t.Error("negative alloc threshold must disable the allocation gate")
+	}
+	out := FormatDeltas(Compare(old, cur, 0.15, 0.10))
+	if !strings.Contains(out, "ALLOC REGRESSION") {
+		t.Errorf("formatted table missing ALLOC REGRESSION marker:\n%s", out)
+	}
+}
+
 func TestWriteReadRoundTrip(t *testing.T) {
 	f, err := Parse(strings.NewReader(sampleOutput))
 	if err != nil {
@@ -114,8 +161,9 @@ func TestWriteReadRoundTrip(t *testing.T) {
 			t.Errorf("benchmark %d differs after round trip", i)
 		}
 	}
-	// Identical snapshots compare clean at any threshold.
-	if AnyRegression(Compare(f, got, 0)) {
+	// Identical snapshots compare clean at any threshold, allocation
+	// gate included.
+	if AnyRegression(Compare(f, got, 0, 0)) {
 		t.Error("identical snapshots reported a regression")
 	}
 }

@@ -84,7 +84,9 @@ func (n *Network) ECNMarkCount() int64 {
 	return n.dcqcn.marks
 }
 
-// initFlowCC sets a flow's initial rate and schedules its recovery timer.
+// initFlowCC sets a flow's initial rate and registers its periodic
+// recovery timer (a flow-addressed timerRT — no closure, no allocation
+// per tick).
 func (n *Network) initFlowCC(f *Flow) {
 	if f.ccRate != 0 {
 		return
@@ -93,22 +95,27 @@ func (n *Network) initFlowCC(f *Flow) {
 	if f.spec.RateBps > 0 && f.spec.RateBps < f.ccRate {
 		f.ccRate = f.spec.RateBps
 	}
-	var tick func()
-	tick = func() {
-		// Additive recovery toward line rate while the flow is active.
-		if f.ccRate < n.cfg.LinkBitsPerSec {
-			f.ccRate += n.dcqcn.cfg.RecoveryStep
-			if f.ccRate > n.cfg.LinkBitsPerSec {
-				f.ccRate = n.cfg.LinkBitsPerSec
-			}
-		}
-		if f.spec.Stop == 0 || n.now < int64(f.spec.Stop) {
-			n.schedule(event{at: n.now + int64(n.dcqcn.cfg.RecoveryInterval), kind: evCall, fn: tick})
-			// A rate increase may unblock the host scheduler.
-			n.tryHostTx(int(f.spec.Src), 0)
+	period := int64(n.dcqcn.cfg.RecoveryInterval)
+	n.addTimer(timerRT{kind: timerDCQCNRecovery, period: period, flow: f.idx}, n.now+period)
+}
+
+// dcqcnRecoveryTick is one additive-increase tick for a flow. A stopped
+// flow simply does not reschedule; its timer slot is abandoned (bounded
+// by the flow count).
+func (n *Network) dcqcnRecoveryTick(t *timerRT, slot int32) {
+	f := n.flows[t.flow]
+	// Additive recovery toward line rate while the flow is active.
+	if f.ccRate < n.cfg.LinkBitsPerSec {
+		f.ccRate += n.dcqcn.cfg.RecoveryStep
+		if f.ccRate > n.cfg.LinkBitsPerSec {
+			f.ccRate = n.cfg.LinkBitsPerSec
 		}
 	}
-	n.schedule(event{at: n.now + int64(n.dcqcn.cfg.RecoveryInterval), kind: evCall, fn: tick})
+	if f.spec.Stop == 0 || n.now < int64(f.spec.Stop) {
+		n.schedule(event{at: n.now + t.period, kind: evTimer, arg: slot})
+		// A rate increase may unblock the host scheduler.
+		n.tryHostTx(int(f.spec.Src), 0)
+	}
 }
 
 // maybeMarkECN applies RED marking against the target egress queue depth
@@ -145,11 +152,19 @@ func (n *Network) handleECNDelivery(f *Flow) {
 	f.lastCNP = n.now
 	n.dcqcn.cnps++
 	// CNPs ride the reverse path; model its latency as the forward span.
+	// The rate cut lands as a flow-addressed evCNP — allocation-free even
+	// under heavy marking.
 	delay := 4 * int64(n.cfg.PropDelay)
-	n.schedule(event{at: n.now + delay, kind: evCall, fn: func() {
-		f.ccRate = int64(float64(f.ccRate) * cfg.DecreaseFactor)
-		if f.ccRate < cfg.MinRateBps {
-			f.ccRate = cfg.MinRateBps
-		}
-	}})
+	n.schedule(event{at: n.now + delay, kind: evCNP, arg: f.idx})
+}
+
+// applyCNP executes the multiplicative decrease when a CNP reaches the
+// sender NIC.
+func (n *Network) applyCNP(flow int32) {
+	cfg := &n.dcqcn.cfg
+	f := n.flows[flow]
+	f.ccRate = int64(float64(f.ccRate) * cfg.DecreaseFactor)
+	if f.ccRate < cfg.MinRateBps {
+		f.ccRate = cfg.MinRateBps
+	}
 }

@@ -9,64 +9,206 @@
 // that honor PAUSE, and a deadlock detector over the live pause-wait
 // graph. Time is integer nanoseconds and execution is fully deterministic
 // for a given scenario.
+//
+// The event engine is built for throughput: a typed binary heap (no
+// container/heap interface boxing), a 32-byte packed event struct, a
+// pooled packet arena for frames on the wire, and dedicated event kinds
+// for periodic timers and DCQCN notifications so the steady state
+// schedules and dispatches without heap allocations (see DESIGN.md §11).
 package sim
-
-import "container/heap"
 
 // eventKind discriminates the simulator's event types.
 type eventKind uint8
 
 const (
-	evArrive   eventKind = iota // packet arrives at node ingress
+	evArrive   eventKind = iota // packet arrives at node ingress (arg = arena slot)
 	evTxDone                    // node port finishes serializing a packet
 	evPFC                       // PFC pause/resume frame takes effect
 	evFlowKick                  // re-evaluate a host's flow scheduler
-	evCall                      // scenario callback
+	evCall                      // scenario callback (arg = call slot)
+	evTimer                     // periodic timer tick (arg = timer slot)
+	evCNP                       // DCQCN rate cut lands at the sender (arg = flow index)
 )
 
-// event is one scheduled occurrence. Fields are a union across kinds; a
-// single flat struct keeps the heap allocation-free.
+// event is one scheduled occurrence: 32 bytes, plain data, no pointers.
+// Fields beyond (at, seq, kind) are a union across kinds; payloads that
+// do not fit (packets, callbacks, timers) live in side tables indexed by
+// arg, which keeps the heap slice compact and allocation-free.
 type event struct {
-	at   int64 // nanoseconds
-	seq  int64 // FIFO tie-break for determinism
+	at  int64 // nanoseconds
+	seq int64 // FIFO tie-break for determinism
+
+	node int32 // target node index
+	arg  int32 // kind-specific payload index (see eventKind)
+
+	port int16 // target port number
+	prio int8  // PFC priority (evPFC)
 	kind eventKind
-
-	node int // target node index
-	port int // target port number
-	prio int // PFC priority (evPFC)
 	on   bool
-
-	pkt *packet
-	fn  func()
 }
 
+// eventHeap is a hand-inlined binary min-heap ordered by (at, seq). The
+// comparator is total (seq is unique), so pop order is a strict sort and
+// independent of the heap implementation — the engine-equivalence golden
+// pins this against the pre-rewrite container/heap semantics.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
+// less is the (at, seq) order.
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+// push appends and sifts up.
+func (h *eventHeap) push(e event) {
+	q := append(*h, e)
+	*h = q
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !q.less(i, p) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+}
 
-// Push implements heap.Interface.
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
-
-// Pop implements heap.Interface.
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+// pop removes and returns the minimum. Callers check len first.
+func (h *eventHeap) pop() event {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q = q[:n]
+	*h = q
+	// Sift down.
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && q.less(r, l) {
+			m = r
+		}
+		if !q.less(m, i) {
+			break
+		}
+		q[i], q[m] = q[m], q[i]
+		i = m
+	}
+	return top
 }
 
 func (n *Network) schedule(e event) {
 	e.seq = n.seq
 	n.seq++
-	heap.Push(&n.events, e)
+	n.events.push(e)
+}
+
+// scheduleCall registers a one-shot callback in the call table and
+// schedules its firing. Call slots are recycled through a free list, so
+// only the closure itself allocates — scenario callbacks (Network.At)
+// are rare and off the packet path.
+func (n *Network) scheduleCall(at int64, fn func()) {
+	var slot int32
+	if k := len(n.callFree); k > 0 {
+		slot = n.callFree[k-1]
+		n.callFree = n.callFree[:k-1]
+		n.calls[slot] = fn
+	} else {
+		slot = int32(len(n.calls))
+		n.calls = append(n.calls, fn)
+	}
+	n.schedule(event{at: at, kind: evCall, arg: slot})
+}
+
+// runCall fires and recycles a one-shot callback slot.
+func (n *Network) runCall(slot int32) {
+	fn := n.calls[slot]
+	n.calls[slot] = nil
+	n.callFree = append(n.callFree, slot)
+	fn()
+}
+
+// --- Packet arena -----------------------------------------------------------
+
+// packetArena holds the frames currently on the wire (between startTx and
+// arrival). Slots are recycled through a free list: after warm-up the
+// arena reaches the fabric's in-flight high-water mark and steady-state
+// transmission allocates nothing per packet.
+type packetArena struct {
+	slots []packet
+	free  []int32
+}
+
+// put stores a packet and returns its slot.
+func (a *packetArena) put(pk packet) int32 {
+	if k := len(a.free); k > 0 {
+		slot := a.free[k-1]
+		a.free = a.free[:k-1]
+		a.slots[slot] = pk
+		return slot
+	}
+	a.slots = append(a.slots, pk)
+	return int32(len(a.slots) - 1)
+}
+
+// take removes and returns the packet in slot, recycling it.
+func (a *packetArena) take(slot int32) packet {
+	pk := a.slots[slot]
+	a.free = append(a.free, slot)
+	return pk
+}
+
+// --- Periodic timers --------------------------------------------------------
+
+// timerKind discriminates the recurring maintenance ticks.
+type timerKind uint8
+
+const (
+	timerDCQCNRecovery timerKind = iota // per-flow additive rate increase
+	timerRecoveryScan                   // detect-and-break monitor
+	timerWatchdog                       // continuous deadlock watchdog
+)
+
+// timerRT is one registered periodic timer. The evTimer event carries
+// only the slot index; rescheduling pushes a fresh 32-byte event — no
+// closure, no allocation.
+type timerRT struct {
+	kind   timerKind
+	period int64
+	flow   int32          // timerDCQCNRecovery: index into Network.flows
+	rstats *RecoveryStats // timerRecoveryScan
+	wstats *WatchdogStats // timerWatchdog
+}
+
+// addTimer registers a periodic timer and schedules its first tick.
+func (n *Network) addTimer(t timerRT, first int64) {
+	slot := int32(len(n.timers))
+	n.timers = append(n.timers, t)
+	n.schedule(event{at: first, kind: evTimer, arg: slot})
+}
+
+// runTimer dispatches one periodic tick. Bodies replicate the exact
+// schedule-call order of the closure-based timers they replaced, so seq
+// assignment — and therefore the event-order golden — is unchanged.
+func (n *Network) runTimer(slot int32) {
+	t := &n.timers[slot]
+	switch t.kind {
+	case timerDCQCNRecovery:
+		n.dcqcnRecoveryTick(t, slot)
+	case timerRecoveryScan:
+		if cyc := n.detectCycleQueues(); len(cyc) > 0 {
+			t.rstats.Detections++
+			n.flushQueue(cyc[0], t.rstats)
+		}
+		n.schedule(event{at: n.now + t.period, kind: evTimer, arg: slot})
+	case timerWatchdog:
+		n.watchdogTick(t, slot)
+	}
 }

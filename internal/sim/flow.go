@@ -31,6 +31,7 @@ type FlowSpec struct {
 type Flow struct {
 	spec FlowSpec
 	hash uint64
+	idx  int32 // index into Network.flows, for flow-addressed events
 
 	nextGen  int64 // earliest time the next packet may be generated
 	received int64 // bytes delivered
@@ -120,6 +121,7 @@ func (n *Network) AddFlow(spec FlowSpec) *Flow {
 	f := &Flow{
 		spec:     spec,
 		hash:     hashString(spec.Name) ^ (uint64(spec.Src)<<32 | uint64(spec.Dst)),
+		idx:      int32(len(n.flows)),
 		nextGen:  int64(spec.Start),
 		bucketNs: int64(n.cfg.SampleInterval),
 	}
@@ -130,7 +132,7 @@ func (n *Network) AddFlow(spec FlowSpec) *Flow {
 	rt := n.rt(spec.Src)
 	rt.flows = append(rt.flows, f)
 	// Hosts have a single uplink port (port 0).
-	n.schedule(event{at: int64(spec.Start), kind: evFlowKick, node: int(spec.Src), port: 0})
+	n.schedule(event{at: int64(spec.Start), kind: evFlowKick, node: int32(spec.Src), port: 0})
 	return f
 }
 
@@ -190,7 +192,7 @@ func (n *Network) tryHostTx(nodeIdx, port int) {
 		return
 	}
 	if soonest > n.now {
-		n.schedule(event{at: soonest, kind: evFlowKick, node: nodeIdx, port: port})
+		n.schedule(event{at: soonest, kind: evFlowKick, node: int32(nodeIdx), port: int16(port)})
 	}
 }
 

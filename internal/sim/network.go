@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 
@@ -40,11 +39,26 @@ func (f *fifo) push(p packet) {
 	f.bytes += int64(p.size)
 }
 
+// fifoReleaseCap is the backing-array size (in packets) beyond which a
+// drained queue frees its storage instead of keeping it. Steady-state
+// queues stay far below it and recycle their array forever; only a queue
+// that ballooned during a burst (deadlock, incast) gives the memory back
+// once it drains, so multi-hour soaks don't hold peak-burst capacity on
+// every port.
+const fifoReleaseCap = 512
+
 func (f *fifo) pop() packet {
 	p := f.q[f.head]
 	f.head++
 	f.bytes -= int64(p.size)
-	if f.head > 64 && f.head*2 > len(f.q) {
+	if f.head >= len(f.q) {
+		f.head = 0
+		if cap(f.q) > fifoReleaseCap {
+			f.q = nil
+		} else {
+			f.q = f.q[:0]
+		}
+	} else if f.head > 64 && f.head*2 > len(f.q) {
 		n := copy(f.q, f.q[f.head:])
 		f.q = f.q[:n]
 		f.head = 0
@@ -125,6 +139,13 @@ type Network struct {
 	now    int64
 	seq    int64
 	events eventHeap
+
+	// arena holds frames on the wire; calls/callFree and timers are the
+	// side tables behind evCall and evTimer events (see event.go).
+	arena    packetArena
+	calls    []func()
+	callFree []int32
+	timers   []timerRT
 
 	nodes []nodeRT
 	flows []*Flow
@@ -218,7 +239,7 @@ func (n *Network) Now() time.Duration { return time.Duration(n.now) }
 // At schedules fn to run at simulation time t (it must not be earlier
 // than the current time when Run processes it).
 func (n *Network) At(t time.Duration, fn func()) {
-	n.schedule(event{at: int64(t), kind: evCall, fn: fn})
+	n.scheduleCall(int64(t), fn)
 }
 
 // Run processes events until the given simulation time.
@@ -228,22 +249,27 @@ func (n *Network) Run(until time.Duration) {
 		if n.events[0].at > limit {
 			break
 		}
-		e := heap.Pop(&n.events).(event)
+		e := n.events.pop()
 		if e.at < n.now {
 			panic(fmt.Sprintf("sim: time went backwards: %d < %d", e.at, n.now))
 		}
 		n.now = e.at
 		switch e.kind {
 		case evArrive:
-			n.arrive(e.node, e.port, e.pkt)
+			pk := n.arena.take(e.arg)
+			n.arrive(int(e.node), int(e.port), &pk)
 		case evTxDone:
-			n.txDone(e.node, e.port)
+			n.txDone(int(e.node), int(e.port))
 		case evPFC:
-			n.pfcEffect(e.node, e.port, e.prio, e.on)
+			n.pfcEffect(int(e.node), int(e.port), int(e.prio), e.on)
 		case evFlowKick:
-			n.tryHostTx(e.node, e.port)
+			n.tryHostTx(int(e.node), int(e.port))
 		case evCall:
-			e.fn()
+			n.runCall(e.arg)
+		case evTimer:
+			n.runTimer(e.arg)
+		case evCNP:
+			n.applyCNP(e.arg)
 		}
 	}
 	if n.now < limit {
@@ -426,13 +452,12 @@ func (n *Network) startTx(nodeIdx, port int, pk packet) {
 	prt.txPkt = pk
 	tx := n.cfg.txTimeNs(int(pk.size))
 	done := n.now + tx
-	n.schedule(event{at: done, kind: evTxDone, node: nodeIdx, port: port})
+	n.schedule(event{at: done, kind: evTxDone, node: int32(nodeIdx), port: int16(port)})
 	arrival := done + int64(n.cfg.PropDelay)
-	heapPk := pk
 	n.schedule(event{
 		at: arrival, kind: evArrive,
-		node: int(prt.peer), port: int(prt.peerPort),
-		pkt: &heapPk,
+		node: int32(prt.peer), port: prt.peerPort,
+		arg: n.arena.put(pk),
 	})
 }
 
@@ -544,8 +569,8 @@ func (n *Network) sendPFC(rt *nodeRT, port, prio int, on bool) {
 	n.schedule(event{
 		at:   n.now + int64(n.cfg.PropDelay),
 		kind: evPFC,
-		node: int(prt.peer), port: int(prt.peerPort),
-		prio: prio, on: on,
+		node: int32(prt.peer), port: prt.peerPort,
+		prio: int8(prio), on: on,
 	})
 }
 

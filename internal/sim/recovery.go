@@ -26,15 +26,8 @@ type RecoveryStats struct {
 // Returns the stats structure, updated in place as the run progresses.
 func (n *Network) EnableRecovery(interval time.Duration) *RecoveryStats {
 	stats := &RecoveryStats{}
-	var tick func()
-	tick = func() {
-		if cyc := n.detectCycleQueues(); len(cyc) > 0 {
-			stats.Detections++
-			n.flushQueue(cyc[0], stats)
-		}
-		n.schedule(event{at: n.now + int64(interval), kind: evCall, fn: tick})
-	}
-	n.schedule(event{at: n.now + int64(interval), kind: evCall, fn: tick})
+	p := int64(interval)
+	n.addTimer(timerRT{kind: timerRecoveryScan, period: p, rstats: stats}, n.now+p)
 	return stats
 }
 

@@ -33,24 +33,27 @@ func (w *WatchdogStats) Clean() bool {
 // StartWatchdog installs a continuous deadlock watchdog: every interval
 // it samples DetectDeadlock and the drop counters into the returned
 // stats, which update in place as the run progresses. Sampling rides the
-// same evCall mechanism as scenario callbacks, so it is deterministic
-// with respect to the packet events it interleaves with.
+// periodic-timer event kind, so it is deterministic with respect to the
+// packet events it interleaves with and allocation-free per tick.
 func (n *Network) StartWatchdog(interval time.Duration) *WatchdogStats {
 	stats := &WatchdogStats{FirstDeadlockAt: -1}
-	var tick func()
-	tick = func() {
-		stats.Samples++
-		if cyc := n.DetectDeadlock(); cyc != nil {
-			stats.DeadlockSamples++
-			if stats.FirstDeadlock == nil {
-				stats.FirstDeadlock = cyc
-				stats.FirstDeadlockAt = time.Duration(n.now)
-			}
-		}
-		stats.LosslessDrops = n.drops.HeadroomViolation
-		stats.RebootDrops = n.drops.SwitchReboot
-		n.schedule(event{at: n.now + int64(interval), kind: evCall, fn: tick})
-	}
-	n.schedule(event{at: n.now + int64(interval), kind: evCall, fn: tick})
+	p := int64(interval)
+	n.addTimer(timerRT{kind: timerWatchdog, period: p, wstats: stats}, n.now+p)
 	return stats
+}
+
+// watchdogTick is one watchdog sample.
+func (n *Network) watchdogTick(t *timerRT, slot int32) {
+	stats := t.wstats
+	stats.Samples++
+	if cyc := n.DetectDeadlock(); cyc != nil {
+		stats.DeadlockSamples++
+		if stats.FirstDeadlock == nil {
+			stats.FirstDeadlock = cyc
+			stats.FirstDeadlockAt = time.Duration(n.now)
+		}
+	}
+	stats.LosslessDrops = n.drops.HeadroomViolation
+	stats.RebootDrops = n.drops.SwitchReboot
+	n.schedule(event{at: n.now + t.period, kind: evTimer, arg: slot})
 }

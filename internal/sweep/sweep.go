@@ -1,0 +1,96 @@
+// Package sweep fans independent seeded simulation runs across a bounded
+// worker pool. It is the multi-run counterpart of internal/parallel's
+// shard fan-out, with the same determinism discipline: every run is
+// isolated (its own Network, its own telemetry.Registry), workers write
+// only their own result slot, and post-run aggregation — result order,
+// error selection, telemetry merging — happens in seed order on the
+// caller's goroutine. par=1 and par=N are therefore observably identical,
+// and par=1 runs inline with zero scheduling overhead (the legacy serial
+// path, kept exercised by the -race determinism gate).
+package sweep
+
+import (
+	"sync"
+
+	"repro/internal/parallel"
+	"repro/internal/telemetry"
+)
+
+// Seeds returns the n consecutive seeds starting at first — the standard
+// sweep domain (seeds 1..n for first=1).
+func Seeds(first int64, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = first + int64(i)
+	}
+	return out
+}
+
+// run is the shared worker pool: fn fills slot i for seeds[i].
+func run[T any](seeds []int64, par int, fn func(i int, seed int64) (T, error)) ([]T, error) {
+	results := make([]T, len(seeds))
+	errs := make([]error, len(seeds))
+	workers := parallel.Workers(par, len(seeds))
+	if workers <= 1 {
+		for i, seed := range seeds {
+			results[i], errs[i] = fn(i, seed)
+		}
+	} else {
+		next := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					results[i], errs[i] = fn(i, seeds[i])
+				}
+			}()
+		}
+		for i := range seeds {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// Run executes fn once per seed on min(par, len(seeds)) workers (par <= 0
+// means GOMAXPROCS) and returns the results in seed order. Every seed
+// runs regardless of other seeds' failures; the returned error is the
+// first failure in seed order (deterministic — never "whichever worker
+// lost the race"), with the corresponding zero-valued results left in
+// place.
+func Run[T any](seeds []int64, par int, fn func(seed int64) (T, error)) ([]T, error) {
+	return run(seeds, par, func(_ int, seed int64) (T, error) { return fn(seed) })
+}
+
+// RunMerged is Run for instrumented sweeps: each run receives a private
+// telemetry.Registry (nil when reg is nil, preserving the uninstrumented
+// fast path), and after every run completes the private registries merge
+// into reg in seed order. Counters and histograms are commutative, so the
+// merged aggregate is identical for par=1 and par=N.
+func RunMerged[T any](seeds []int64, par int, reg *telemetry.Registry,
+	fn func(seed int64, reg *telemetry.Registry) (T, error)) ([]T, error) {
+	regs := make([]*telemetry.Registry, len(seeds))
+	if reg != nil {
+		for i := range regs {
+			regs[i] = telemetry.NewRegistry()
+		}
+	}
+	results, err := run(seeds, par, func(i int, seed int64) (T, error) {
+		return fn(seed, regs[i])
+	})
+	if reg != nil {
+		for _, r := range regs {
+			reg.Merge(r.Snapshot())
+		}
+	}
+	return results, err
+}

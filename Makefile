@@ -5,7 +5,7 @@ BENCH_OUT ?= BENCH_$(shell date +%F).json
 # benchmarks and fails on a >15% time regression against that snapshot.
 BENCH_BASELINE ?=
 
-.PHONY: all check build vet test determinism race bench bench-sim benchdiff benchgate telemetry-overhead fuzz fuzz-smoke cover examples experiments clean
+.PHONY: all check build vet test determinism race bench bench-sim benchdiff benchgate telemetry-overhead fuzz fuzz-smoke churn-fuzz cover examples experiments clean
 
 all: check
 
@@ -13,7 +13,7 @@ all: check
 # contract under the race detector, the full race suite, the bounded
 # differential fuzz smoke, the telemetry overhead gate, and (opt-in via
 # BENCH_BASELINE) the benchmark regression gate.
-check: build vet test determinism race fuzz-smoke telemetry-overhead benchgate
+check: build vet test determinism race fuzz-smoke churn-fuzz telemetry-overhead benchgate
 
 build:
 	$(GO) build ./...
@@ -89,6 +89,13 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzRunCase -fuzztime 5s ./internal/check/
 	$(GO) run ./cmd/taggerfuzz -seeds 25 -topo all -q
 
+# The churn differential: fuzzed link-flap/drain/pod-add sequences where
+# every step's incremental re-synthesis must match from-scratch synthesis
+# rule-for-rule and re-pass the Theorem 5.1 oracle. Failures shrink to
+# minimal event sequences.
+churn-fuzz:
+	$(GO) run ./cmd/taggerfuzz -churn -seeds 25 -q
+
 cover:
 	$(GO) test -cover ./...
 
@@ -114,6 +121,7 @@ experiments:
 	$(GO) run ./cmd/taggersim -exp compression
 	$(GO) run ./cmd/taggersim -exp multiclass
 	$(GO) run ./cmd/taggersim -exp chaos
+	$(GO) run ./cmd/taggersim -exp churn
 	$(GO) run ./cmd/taggerscale
 	$(GO) run ./cmd/taggerscale -bcube
 

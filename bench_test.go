@@ -15,6 +15,7 @@ import (
 	"repro/internal/paper"
 	"repro/internal/routing"
 	"repro/internal/tcam"
+	"repro/internal/topology"
 	"repro/internal/wire"
 )
 
@@ -365,6 +366,71 @@ func BenchmarkDataplaneFrameForward(b *testing.B) {
 		// forwarder would pay per packet.
 		frame := wire.EncodeRoCEv2(pkt)
 		if _, err := fab.ForwardFrame(frame, green); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Incremental re-synthesis under churn (§4 deployability) ---------------------------------
+
+// benchFlapClos is large enough that a single link flap touches only a
+// sliver of the rule space — the regime where incremental re-synthesis
+// pays for itself. The wide spine layer (64 of the 80 links are
+// leaf-spine) makes leaf-spine the dominant link class, so that is the
+// link the flap benchmarks exercise.
+func benchFlapClos(b *testing.B) (*topology.Clos, *elp.Set) {
+	b.Helper()
+	cl, err := topology.NewClos(topology.ClosConfig{
+		Pods: 4, ToRsPerPod: 2, LeafsPerPod: 2, Spines: 8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cl, elp.KBounce(cl.Graph, cl.ToRs, 1, nil)
+}
+
+// BenchmarkResynthSingleLinkFlap: one L1-S1 down + up cycle through the
+// incremental path (tracker delta + Resynth.Apply twice per iteration).
+func BenchmarkResynthSingleLinkFlap(b *testing.B) {
+	cl, set := benchFlapClos(b)
+	g := cl.Graph
+	rs, err := core.NewResynth(g, set.Paths(), core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := elp.NewTracker(g, set)
+	l1, s1 := g.MustLookup("L1"), g.MustLookup("S1")
+	b.ReportMetric(float64(set.Len()), "paths")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.FailLink(l1, s1)
+		if _, err := rs.Apply(nil, tr.LinkDown(l1, s1)); err != nil {
+			b.Fatal(err)
+		}
+		g.RestoreLink(l1, s1)
+		if _, err := rs.Apply(tr.LinkUp(l1, s1), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFullSynthSingleLinkFlap: the same flap handled the pre-churn
+// way — re-enumerate the ELP and synthesize from scratch after each
+// topology change. The Resynth benchmark above must beat this by >=10x.
+func BenchmarkFullSynthSingleLinkFlap(b *testing.B) {
+	cl, _ := benchFlapClos(b)
+	g := cl.Graph
+	l1, s1 := g.MustLookup("L1"), g.MustLookup("S1")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.FailLink(l1, s1)
+		set := elp.KBounce(g, cl.ToRs, 1, nil)
+		if _, err := core.Synthesize(g, set.Paths(), core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+		g.RestoreLink(l1, s1)
+		set = elp.KBounce(g, cl.ToRs, 1, nil)
+		if _, err := core.Synthesize(g, set.Paths(), core.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -10,6 +10,12 @@
 //
 //	taggerfuzz -seeds 200 -topo all -par 8
 //	taggerfuzz -topo jellyfish -seed 1337 -seeds 1   # replay one seed
+//	taggerfuzz -churn -seeds 250 -par 8              # churn differential
+//
+// With -churn the battery switches to the fabric-churn differential:
+// each seed drives a random link-flap/drain/pod-add sequence through the
+// incremental re-synthesis engine and demands rule-for-rule equality
+// with from-scratch synthesis after every event (plus the §5.1 oracle).
 //
 // The seed sweep fans across -par workers (runs are independent; verdicts
 // and repro output are reported in seed order, so -par never changes what
@@ -40,6 +46,7 @@ func main() {
 			"directory for shrunk repro tests")
 		quiet = flag.Bool("q", false, "only report failures and the final tally")
 		par   = flag.Int("par", 0, "sweep worker count (0 = GOMAXPROCS, 1 = serial)")
+		churn = flag.Bool("churn", false, "run the churn differential (incremental vs from-scratch synthesis)")
 	)
 	prof := profile.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -56,6 +63,9 @@ func main() {
 	}()
 
 	topos := check.Topos()
+	if *churn {
+		topos = check.ChurnTopos()
+	}
 	if *topo != "all" {
 		found := false
 		for _, t := range topos {
@@ -65,12 +75,35 @@ func main() {
 			}
 		}
 		if !found {
-			log.Fatalf("taggerfuzz: unknown -topo %q (want clos, jellyfish, bcube or all)", *topo)
+			log.Fatalf("taggerfuzz: unknown -topo %q (want one of %v or all)", *topo, topos)
 		}
 	}
 
-	// One verdict per (topology, seed). The sweep itself never errors —
-	// a failing battery is the verdict, carried in the result.
+	failures := 0
+	if *churn {
+		failures = runChurn(topos, *base, *seeds, *par, *quiet, *out)
+	} else {
+		failures = runBattery(topos, *base, *seeds, *par, *quiet, *out)
+	}
+
+	if failures > 0 {
+		fmt.Printf("taggerfuzz: %d failing seed(s)\n", failures)
+		if failures > 125 {
+			failures = 125
+		}
+		if err := stop(); err != nil { // os.Exit skips the deferred stop
+			log.Print(err)
+		}
+		os.Exit(failures)
+	}
+	fmt.Printf("taggerfuzz: all %d seed(s) clean across %d topolog%s\n",
+		*seeds, len(topos), map[bool]string{true: "y", false: "ies"}[len(topos) == 1])
+}
+
+// runBattery sweeps the classic differential battery. One verdict per
+// (topology, seed); the sweep itself never errors — a failing battery is
+// the verdict, carried in the result.
+func runBattery(topos []string, base int64, seeds, par int, quiet bool, out string) int {
 	type verdict struct {
 		c   check.Case
 		err error
@@ -78,14 +111,14 @@ func main() {
 	failures := 0
 	for _, t := range topos {
 		t := t
-		verdicts, _ := sweep.Run(sweep.Seeds(*base, *seeds), *par,
+		verdicts, _ := sweep.Run(sweep.Seeds(base, seeds), par,
 			func(seed int64) (verdict, error) {
 				c := check.GenCase(t, seed)
 				return verdict{c: c, err: check.RunCase(c)}, nil
 			})
 		for _, v := range verdicts {
 			if v.err == nil {
-				if !*quiet {
+				if !quiet {
 					fmt.Printf("ok   %s\n", v.c)
 				}
 				continue
@@ -101,7 +134,7 @@ func main() {
 				min, minErr = v.c, v.err
 			}
 			fmt.Printf("     shrunk to %s\n", min)
-			path := filepath.Join(*out, fmt.Sprintf("repro_%s_test.go", check.ReproName(min)))
+			path := filepath.Join(out, fmt.Sprintf("repro_%s_test.go", check.ReproName(min)))
 			if werr := writeRepro(path, check.ReproSource(min, minErr)); werr != nil {
 				log.Printf("taggerfuzz: writing repro: %v", werr)
 			} else {
@@ -109,19 +142,48 @@ func main() {
 			}
 		}
 	}
+	return failures
+}
 
-	if failures > 0 {
-		fmt.Printf("taggerfuzz: %d failing seed(s)\n", failures)
-		if failures > 125 {
-			failures = 125
-		}
-		if err := stop(); err != nil { // os.Exit skips the deferred stop
-			log.Print(err)
-		}
-		os.Exit(failures)
+// runChurn sweeps the churn differential with the same verdict/shrink/
+// repro discipline as the classic battery.
+func runChurn(topos []string, base int64, seeds, par int, quiet bool, out string) int {
+	type verdict struct {
+		c   check.ChurnCase
+		err error
 	}
-	fmt.Printf("taggerfuzz: all %d seed(s) clean across %d topolog%s\n",
-		*seeds, len(topos), map[bool]string{true: "y", false: "ies"}[len(topos) == 1])
+	failures := 0
+	for _, t := range topos {
+		t := t
+		verdicts, _ := sweep.Run(sweep.Seeds(base, seeds), par,
+			func(seed int64) (verdict, error) {
+				c := check.GenChurnCase(t, seed)
+				return verdict{c: c, err: check.RunChurnCase(c)}, nil
+			})
+		for _, v := range verdicts {
+			if v.err == nil {
+				if !quiet {
+					fmt.Printf("ok   %s\n", v.c)
+				}
+				continue
+			}
+			failures++
+			fmt.Printf("FAIL %s\n     %v\n", v.c, v.err)
+			min := check.ShrinkChurn(v.c, func(c check.ChurnCase) bool { return check.RunChurnCase(c) != nil })
+			minErr := check.RunChurnCase(min)
+			if minErr == nil {
+				min, minErr = v.c, v.err
+			}
+			fmt.Printf("     shrunk to %s\n", min)
+			path := filepath.Join(out, fmt.Sprintf("repro_%s_test.go", check.ChurnReproName(min)))
+			if werr := writeRepro(path, check.ChurnReproSource(min, minErr)); werr != nil {
+				log.Printf("taggerfuzz: writing repro: %v", werr)
+			} else {
+				fmt.Printf("     repro written to %s\n", path)
+			}
+		}
+	}
+	return failures
 }
 
 func writeRepro(path, src string) error {

@@ -9,6 +9,7 @@
 //	taggersim -exp table1 -days 7   # reroute measurement (Table 1)
 //	taggersim -exp overhead         # §8 performance penalty
 //	taggersim -exp chaos -runs 32 -par 8   # seeded chaos sweep, 8 workers
+//	taggersim -exp churn -runs 4    # fabric churn soak: incremental deltas
 //
 // Each figure experiment runs twice — without and with Tagger — matching
 // the paper's paired plots.
@@ -40,7 +41,7 @@ func main() {
 	log.SetPrefix("taggersim: ")
 
 	var (
-		exp    = flag.String("exp", "fig10", "experiment: fig10, fig11, fig12, table1, overhead, multiclass, recovery, dcqcn, budget, compression, isolation, reconverge, chaos")
+		exp    = flag.String("exp", "fig10", "experiment: fig10, fig11, fig12, table1, overhead, multiclass, recovery, dcqcn, budget, compression, isolation, reconverge, chaos, churn")
 		seeds  = flag.Int("seeds", 3, "chaos: number of fault schedules to run (seeds 1..n)")
 		runs   = flag.Int("runs", 0, "chaos: number of seeded runs in the sweep (overrides -seeds)")
 		par    = flag.Int("par", 1, "chaos: sweep worker count (0 = GOMAXPROCS); results are par-independent")
@@ -186,6 +187,29 @@ func main() {
 			if wo.FirstDeadlock != nil {
 				fmt.Printf("         first cycle at %v: %s\n",
 					wo.Watchdog.FirstDeadlockAt, tagger.DeadlockString(wo.FirstDeadlock))
+			}
+		}
+	case "churn":
+		n := *seeds
+		if *runs > 0 {
+			n = *runs
+		}
+		fmt.Printf("churn soak: %d seeded churn sequences over the testbed (link flaps,\n", n)
+		fmt.Println("drains, a pod expansion); each event re-synthesizes incrementally and")
+		fmt.Println("deploys per-switch rule deltas two-phase; midway a spine reboots and")
+		fmt.Println("the reconciliation sweep re-drives it to intent")
+		fmt.Println()
+		for seed := int64(1); seed <= int64(n); seed++ {
+			res, err := tagger.ChurnSoak(seed, 24)
+			if err != nil {
+				log.Fatal(err)
+			}
+			added, removed, modified := res.RulesMoved()
+			fmt.Printf("seed %-3d %2d events (+%d pod) | rules +%d -%d ~%d | %s rebooted, reconcile fixed %d | converged=%v (%d rules live)\n",
+				res.Seed, len(res.Events), res.PodsAdded, added, removed, modified,
+				res.Rebooted, res.ReconcileFixed, res.Converged, res.FinalRules)
+			if !res.Converged {
+				log.Fatalf("seed %d: fabric did not converge to intent", res.Seed)
 			}
 		}
 	case "compression":

@@ -730,3 +730,147 @@ func CompressionAblation() tcam.CompressionLevels {
 	rs := core.ClosRules(c.Graph, 1, 1)
 	return tcam.Levels(rs.Rules())
 }
+
+// --- §6 churn survival -------------------------------------------------------
+
+// ChurnEventResult records one churn event's end-to-end outcome: the
+// rule delta the controller pushed and whether the fabric tracked intent
+// through it.
+type ChurnEventResult struct {
+	Event string // e.g. "link-down T1-L1"
+	Stats controller.DeltaStats
+}
+
+// ChurnSoakResult summarizes one seeded churn soak: a generated
+// link-flap / drain / pod-add sequence driven through the incremental
+// controller with per-switch delta deploys, a mid-run switch reboot
+// repaired by reconciliation, and a final convergence verdict.
+type ChurnSoakResult struct {
+	Seed      int64
+	Events    []ChurnEventResult
+	PodsAdded int
+	// Rebooted is the switch wiped mid-run; ReconcileFixed counts the
+	// switches Reconcile() had to re-drive toward intent afterwards.
+	Rebooted       string
+	ReconcileFixed int
+	// Converged reports whether every switch's active rules equal the
+	// controller's intent bundle after the full sequence.
+	Converged  bool
+	FinalRules int
+}
+
+// RulesMoved totals the rule-level churn across every delta push.
+func (r ChurnSoakResult) RulesMoved() (added, removed, modified int) {
+	for _, ev := range r.Events {
+		added += ev.Stats.RulesAdded
+		removed += ev.Stats.RulesRemoved
+		modified += ev.Stats.RulesModified
+	}
+	return
+}
+
+// churnSwitchLinks collects switch-to-switch links as name pairs for the
+// churn generator; host attachment links never carry ELP paths.
+func churnSwitchLinks(g *topology.Graph) [][2]string {
+	var out [][2]string
+	for i := 0; i < g.NumLinks(); i++ {
+		l := g.Link(topology.LinkID(i))
+		if g.Node(l.A).Kind.IsSwitch() && g.Node(l.B).Kind.IsSwitch() {
+			out = append(out, [2]string{g.Node(l.A).Name, g.Node(l.B).Name})
+		}
+	}
+	return out
+}
+
+// ChurnSoak drives one seeded churn sequence over the paper testbed
+// through the incremental pipeline: tracker -> Resynth -> per-switch
+// two-phase delta deploys. Halfway through it reboots a spine (wiping
+// its rules behind the controller's back) and lets Reconcile repair it.
+// The sequence must end converged: fabric active state == intent bundle
+// on every switch.
+func ChurnSoak(seed int64, events int) (ChurnSoakResult, error) {
+	res := ChurnSoakResult{Seed: seed}
+	c := paper.Testbed()
+	g := c.Graph
+	names := func() []string {
+		var out []string
+		for _, sw := range g.Switches() {
+			out = append(out, g.Node(sw).Name)
+		}
+		return out
+	}
+	fab := chaos.NewFabric(names())
+	ctl, err := controller.NewChurn(g,
+		controller.KBouncePolicy(func() []topology.NodeID { return c.ToRs }, 1),
+		controller.WithAgent(fab),
+		controller.WithDeployConfig(controller.DeployConfig{
+			MaxAttempts: 5,
+			BaseBackoff: time.Millisecond,
+			MaxBackoff:  20 * time.Millisecond,
+			JitterSeed:  seed,
+		}))
+	if err != nil {
+		return res, err
+	}
+
+	seq := chaos.GenerateChurn(chaos.ChurnConfig{
+		Links:    churnSwitchLinks(g),
+		Switches: names(),
+		Events:   events,
+		PodAdds:  1,
+	}, seed)
+
+	for i, ev := range seq {
+		var cev controller.Event
+		switch ev.Kind {
+		case chaos.ChurnLinkDown:
+			cev = controller.Event{Kind: controller.EventLinkDown,
+				A: g.MustLookup(ev.A), B: g.MustLookup(ev.B)}
+		case chaos.ChurnLinkUp:
+			cev = controller.Event{Kind: controller.EventLinkUp,
+				A: g.MustLookup(ev.A), B: g.MustLookup(ev.B)}
+		case chaos.ChurnDrain:
+			cev = controller.Event{Kind: controller.EventSwitchDrain,
+				A: g.MustLookup(ev.Switch)}
+		case chaos.ChurnUndrain:
+			cev = controller.Event{Kind: controller.EventSwitchUndrain,
+				A: g.MustLookup(ev.Switch)}
+		case chaos.ChurnPodAdd:
+			if err := c.Expand(1); err != nil {
+				return res, fmt.Errorf("tagger: churn event %d: %w", i, err)
+			}
+			fab.Add(names()...)
+			res.PodsAdded++
+			cev = controller.Event{Kind: controller.EventExpansion}
+		default:
+			return res, fmt.Errorf("tagger: unknown churn kind %v", ev.Kind)
+		}
+		if err := ctl.HandleChurn(cev); err != nil {
+			return res, fmt.Errorf("tagger: churn event %d (%s): %w", i, ev, err)
+		}
+		log := ctl.DeltaLog()
+		res.Events = append(res.Events, ChurnEventResult{
+			Event: ev.String(),
+			Stats: log[len(log)-1],
+		})
+
+		// Midway, a switch loses its rules to a reboot; the periodic
+		// reconciliation sweep must notice and re-drive it to intent.
+		if i == len(seq)/2 {
+			res.Rebooted = "S1"
+			fab.Reboot(res.Rebooted)
+			fixed, err := ctl.Reconcile()
+			if err != nil {
+				return res, fmt.Errorf("tagger: reconcile after reboot: %w", err)
+			}
+			res.ReconcileFixed = fixed
+		}
+	}
+
+	intent := ctl.Bundle()
+	res.Converged = len(deploy.Diff(fab.ActiveBundle(intent.MaxTag), intent)) == 0
+	for _, sb := range intent.Switches {
+		res.FinalRules += len(sb.Rules)
+	}
+	return res, nil
+}

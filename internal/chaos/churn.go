@@ -1,0 +1,162 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Churn events are topology-intent changes (as opposed to the Fault
+// taxonomy, which models things breaking): links going down and coming
+// back, switches draining for maintenance and returning, pods being
+// added. The churn controller and the check package's churn fuzzer both
+// consume sequences of these.
+
+// ChurnKind discriminates churn events.
+type ChurnKind int
+
+const (
+	// ChurnLinkDown takes the A-B link out of service.
+	ChurnLinkDown ChurnKind = iota + 1
+	// ChurnLinkUp returns the A-B link to service.
+	ChurnLinkUp
+	// ChurnDrain removes expected lossless traffic from Switch.
+	ChurnDrain
+	// ChurnUndrain returns Switch to service.
+	ChurnUndrain
+	// ChurnPodAdd expands the topology by one pod.
+	ChurnPodAdd
+)
+
+// String names the kind.
+func (k ChurnKind) String() string {
+	switch k {
+	case ChurnLinkDown:
+		return "link-down"
+	case ChurnLinkUp:
+		return "link-up"
+	case ChurnDrain:
+		return "switch-drain"
+	case ChurnUndrain:
+		return "switch-undrain"
+	case ChurnPodAdd:
+		return "pod-add"
+	default:
+		return fmt.Sprintf("ChurnKind(%d)", int(k))
+	}
+}
+
+// ChurnEvent is one churn step. Link events use A/B, drain events use
+// Switch, pod adds use neither.
+type ChurnEvent struct {
+	Kind   ChurnKind
+	A, B   string
+	Switch string
+}
+
+// String renders one event.
+func (e ChurnEvent) String() string {
+	switch e.Kind {
+	case ChurnLinkDown, ChurnLinkUp:
+		return fmt.Sprintf("%s %s-%s", e.Kind, e.A, e.B)
+	case ChurnDrain, ChurnUndrain:
+		return fmt.Sprintf("%s %s", e.Kind, e.Switch)
+	default:
+		return e.Kind.String()
+	}
+}
+
+// ChurnConfig parameterizes churn-sequence generation.
+type ChurnConfig struct {
+	// Links are the candidate links, as endpoint name pairs.
+	Links [][2]string
+	// Switches are the candidate drain targets.
+	Switches []string
+	// Events is the sequence length to generate.
+	Events int
+	// PodAdds caps how many pod expansions to interleave (0 = none).
+	PodAdds int
+	// MaxDownLinks / MaxDrained bound how much of the fabric may be out
+	// at once. Zero defaults to a quarter of the candidates plus one.
+	MaxDownLinks, MaxDrained int
+}
+
+// GenerateChurn produces a deterministic, *applicable* churn sequence
+// for (cfg, seed): the generator tracks which links are down and which
+// switches are drained, so it never downs a down link or undrains a
+// healthy switch, and recovery events are biased 2:1 so sequences
+// interleave outage and repair rather than monotonically degrading.
+func GenerateChurn(cfg ChurnConfig, seed int64) []ChurnEvent {
+	rng := rand.New(rand.NewSource(seed))
+	maxDown := cfg.MaxDownLinks
+	if maxDown <= 0 {
+		maxDown = len(cfg.Links)/4 + 1
+	}
+	maxDrained := cfg.MaxDrained
+	if maxDrained <= 0 {
+		maxDrained = len(cfg.Switches)/4 + 1
+	}
+	down := make(map[int]bool)
+	drained := make(map[int]bool)
+	podsLeft := cfg.PodAdds
+
+	// pick returns a random element of the index set {0..n-1} minus the
+	// excluded set (in==false) or intersected with it (in==true), walking
+	// indices in order so the choice is deterministic for a fixed rng.
+	pick := func(n int, set map[int]bool, in bool) int {
+		var cand []int
+		for i := 0; i < n; i++ {
+			if set[i] == in {
+				cand = append(cand, i)
+			}
+		}
+		if len(cand) == 0 {
+			return -1
+		}
+		return cand[rng.Intn(len(cand))]
+	}
+
+	var out []ChurnEvent
+	for len(out) < cfg.Events {
+		var kinds []ChurnKind
+		if len(down) < maxDown && len(down) < len(cfg.Links) {
+			kinds = append(kinds, ChurnLinkDown)
+		}
+		if len(down) > 0 {
+			kinds = append(kinds, ChurnLinkUp, ChurnLinkUp)
+		}
+		if len(drained) < maxDrained && len(drained) < len(cfg.Switches) {
+			kinds = append(kinds, ChurnDrain)
+		}
+		if len(drained) > 0 {
+			kinds = append(kinds, ChurnUndrain, ChurnUndrain)
+		}
+		if podsLeft > 0 {
+			kinds = append(kinds, ChurnPodAdd)
+		}
+		if len(kinds) == 0 {
+			break
+		}
+		switch kinds[rng.Intn(len(kinds))] {
+		case ChurnLinkDown:
+			i := pick(len(cfg.Links), down, false)
+			down[i] = true
+			out = append(out, ChurnEvent{Kind: ChurnLinkDown, A: cfg.Links[i][0], B: cfg.Links[i][1]})
+		case ChurnLinkUp:
+			i := pick(len(cfg.Links), down, true)
+			delete(down, i)
+			out = append(out, ChurnEvent{Kind: ChurnLinkUp, A: cfg.Links[i][0], B: cfg.Links[i][1]})
+		case ChurnDrain:
+			i := pick(len(cfg.Switches), drained, false)
+			drained[i] = true
+			out = append(out, ChurnEvent{Kind: ChurnDrain, Switch: cfg.Switches[i]})
+		case ChurnUndrain:
+			i := pick(len(cfg.Switches), drained, true)
+			delete(drained, i)
+			out = append(out, ChurnEvent{Kind: ChurnUndrain, Switch: cfg.Switches[i]})
+		case ChurnPodAdd:
+			podsLeft--
+			out = append(out, ChurnEvent{Kind: ChurnPodAdd})
+		}
+	}
+	return out
+}

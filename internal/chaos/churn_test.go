@@ -1,0 +1,161 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/deploy"
+)
+
+func churnCfg(events int) ChurnConfig {
+	return ChurnConfig{
+		Links:    [][2]string{{"T1", "L1"}, {"T1", "L2"}, {"T2", "L1"}, {"T2", "L2"}},
+		Switches: []string{"T1", "T2", "L1", "L2"},
+		Events:   events,
+		PodAdds:  2,
+	}
+}
+
+func TestGenerateChurnDeterministic(t *testing.T) {
+	a := GenerateChurn(churnCfg(40), 7)
+	b := GenerateChurn(churnCfg(40), 7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different sequences")
+	}
+	if len(a) != 40 {
+		t.Fatalf("generated %d events, want 40", len(a))
+	}
+	c := GenerateChurn(churnCfg(40), 8)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical sequences")
+	}
+}
+
+// TestGenerateChurnPrefix: under a fixed seed, a shorter sequence is a
+// prefix of a longer one — what lets the shrinker trim events off the
+// tail by lowering Events.
+func TestGenerateChurnPrefix(t *testing.T) {
+	long := GenerateChurn(churnCfg(30), 5)
+	short := GenerateChurn(churnCfg(12), 5)
+	if !reflect.DeepEqual(long[:len(short)], short) {
+		t.Fatal("shorter sequence is not a prefix of the longer one")
+	}
+}
+
+// TestGenerateChurnApplicable replays the generated sequence against a
+// state machine and asserts every event is applicable in context: no
+// down event for a down link, no undrain of a healthy switch, outage
+// caps respected, pod adds bounded.
+func TestGenerateChurnApplicable(t *testing.T) {
+	cfg := churnCfg(200)
+	cfg.MaxDownLinks = 2
+	cfg.MaxDrained = 1
+	for seed := int64(1); seed <= 20; seed++ {
+		down := map[[2]string]bool{}
+		drained := map[string]bool{}
+		pods := 0
+		for i, ev := range GenerateChurn(cfg, seed) {
+			switch ev.Kind {
+			case ChurnLinkDown:
+				key := [2]string{ev.A, ev.B}
+				if down[key] {
+					t.Fatalf("seed %d event %d: %s downs a down link", seed, i, ev)
+				}
+				down[key] = true
+				if len(down) > cfg.MaxDownLinks {
+					t.Fatalf("seed %d event %d: %d links down exceeds cap %d", seed, i, len(down), cfg.MaxDownLinks)
+				}
+			case ChurnLinkUp:
+				key := [2]string{ev.A, ev.B}
+				if !down[key] {
+					t.Fatalf("seed %d event %d: %s restores a healthy link", seed, i, ev)
+				}
+				delete(down, key)
+			case ChurnDrain:
+				if drained[ev.Switch] {
+					t.Fatalf("seed %d event %d: %s drains a drained switch", seed, i, ev)
+				}
+				drained[ev.Switch] = true
+				if len(drained) > cfg.MaxDrained {
+					t.Fatalf("seed %d event %d: %d drained exceeds cap %d", seed, i, len(drained), cfg.MaxDrained)
+				}
+			case ChurnUndrain:
+				if !drained[ev.Switch] {
+					t.Fatalf("seed %d event %d: %s undrains a healthy switch", seed, i, ev)
+				}
+				delete(drained, ev.Switch)
+			case ChurnPodAdd:
+				pods++
+			default:
+				t.Fatalf("seed %d event %d: unknown kind %v", seed, i, ev.Kind)
+			}
+		}
+		if pods > cfg.PodAdds {
+			t.Fatalf("seed %d: %d pod adds exceeds budget %d", seed, pods, cfg.PodAdds)
+		}
+	}
+}
+
+// TestFabricPatchAppliesDeltaToActive: Patch stages the delta applied to
+// the ACTIVE table (not the staged one), FetchActive reads the live
+// table, and partial-patch faults silently stage a prefix for readback
+// verification to catch — the same contract Install has.
+func TestFabricPatchAppliesDeltaToActive(t *testing.T) {
+	f := NewFabric([]string{"S1"})
+	base := deploy.SwitchBundle{Rules: []deploy.RuleJSON{
+		{Tag: 1, In: 0, Out: 1, NewTag: 1},
+		{Tag: 2, In: 1, Out: 0, NewTag: 2},
+	}}
+	if err := f.Install("S1", base); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Activate("S1"); err != nil {
+		t.Fatal(err)
+	}
+	active, err := f.FetchActive("S1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(active, base) {
+		t.Fatalf("FetchActive = %+v, want %+v", active, base)
+	}
+
+	want := deploy.SwitchBundle{Rules: []deploy.RuleJSON{
+		{Tag: 1, In: 0, Out: 1, NewTag: 1},
+		{Tag: 3, In: 2, Out: 1, NewTag: 3},
+	}}
+	delta := deploy.DeltaFor(base, want)
+	if err := f.Patch("S1", delta); err != nil {
+		t.Fatal(err)
+	}
+	staged, err := f.Fetch("S1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(staged.Rules, deploy.ApplyDelta(base, delta).Rules) {
+		t.Fatalf("staged = %+v, want delta applied to active", staged)
+	}
+	// Active is untouched until Activate.
+	active, _ = f.FetchActive("S1")
+	if !reflect.DeepEqual(active, base) {
+		t.Fatal("Patch modified the active table")
+	}
+	// Re-patching (the retry case) recomputes from active — same result.
+	if err := f.Patch("S1", delta); err != nil {
+		t.Fatal(err)
+	}
+	again, _ := f.Fetch("S1")
+	if !reflect.DeepEqual(again, staged) {
+		t.Fatal("re-patch diverged from the first patch")
+	}
+
+	// A partial patch stages only a prefix and reports success.
+	f.Inject("S1", Fault{Kind: FaultInstallPartial, Frac: 0.5})
+	if err := f.Patch("S1", delta); err != nil {
+		t.Fatalf("partial patch should report success, got %v", err)
+	}
+	short, _ := f.Fetch("S1")
+	if len(short.Rules) >= len(want.Rules) {
+		t.Fatalf("partial patch staged %d rules, want fewer than %d", len(short.Rules), len(want.Rules))
+	}
+}

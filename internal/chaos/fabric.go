@@ -211,6 +211,54 @@ func (f *Fabric) Activate(sw string) error {
 	return ferr
 }
 
+// FetchActive implements the controller's DeltaAgent read side: the
+// currently ACTIVE bundle, subject to the same control-channel faults as
+// Fetch.
+func (f *Fabric) FetchActive(sw string) (deploy.SwitchBundle, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls++
+	st, err := f.state(sw)
+	if err != nil {
+		return deploy.SwitchBundle{}, err
+	}
+	times, _, ferr := f.roll(st, false)
+	if times == 0 && ferr != nil {
+		return deploy.SwitchBundle{}, ferr
+	}
+	return deploy.SwitchBundle{Rules: append([]deploy.RuleJSON(nil), st.active.Rules...)}, ferr
+}
+
+// Patch implements the controller's DeltaAgent write side: stage the
+// result of applying d to the ACTIVE bundle. Like Install it is subject
+// to install-class faults — a partial patch silently stages only a prefix
+// of the patched table, which readback verification must catch.
+func (f *Fabric) Patch(sw string, d deploy.SwitchDiff) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls++
+	st, err := f.state(sw)
+	if err != nil {
+		return err
+	}
+	times, frac, ferr := f.roll(st, true)
+	if times == -1 {
+		full := deploy.ApplyDelta(st.active, d)
+		keep := int(float64(len(full.Rules)) * frac)
+		if keep >= len(full.Rules) && len(full.Rules) > 0 {
+			keep = len(full.Rules) - 1
+		}
+		st.staged = deploy.SwitchBundle{Rules: full.Rules[:keep]}
+		st.hasStaged = true
+		return nil
+	}
+	for i := 0; i < times; i++ {
+		st.staged = deploy.ApplyDelta(st.active, d)
+		st.hasStaged = true
+	}
+	return ferr
+}
+
 // Reboot wipes a switch's staged and active rule state immediately — the
 // agent-level effect of a power cycle, for scenarios that couple fabric
 // reboots to simulator reboots.

@@ -62,6 +62,15 @@ func (a *loopbackAgent) Activate(sw string) error {
 	return nil
 }
 
+func (a *loopbackAgent) FetchActive(sw string) (deploy.SwitchBundle, error) {
+	return cloneSwitchBundle(a.active[sw]), nil
+}
+
+func (a *loopbackAgent) Patch(sw string, d deploy.SwitchDiff) error {
+	a.staged[sw] = deploy.ApplyDelta(a.active[sw], d)
+	return nil
+}
+
 // cloneSwitchBundle deep-copies a bundle so agent state cannot alias the
 // controller's.
 func cloneSwitchBundle(b deploy.SwitchBundle) deploy.SwitchBundle {
@@ -85,6 +94,10 @@ type DeployConfig struct {
 	// are computed, logged and audited but not slept, which is what the
 	// deterministic tests and the simulator want.
 	Sleep func(time.Duration)
+	// ReconcileRounds bounds how many fetch-diff-patch sweeps Reconcile
+	// makes before declaring the fabric divergent (minimum 1; 0 means the
+	// default of 3).
+	ReconcileRounds int
 }
 
 // DefaultDeployConfig returns the pipeline parameters used by the
@@ -100,10 +113,13 @@ func DefaultDeployConfig() DeployConfig {
 
 // Deployment phase names, used in audit entries and metrics counters.
 const (
-	OpInstall  = "install"
-	OpVerify   = "verify"
-	OpActivate = "activate"
-	OpRollback = "rollback"
+	OpInstall     = "install"
+	OpVerify      = "verify"
+	OpActivate    = "activate"
+	OpRollback    = "rollback"
+	OpFetchActive = "fetch-active"
+	OpPatch       = "patch"
+	OpDelta       = "delta" // per-push summary entry, not an RPC
 )
 
 // AuditEntry records one RPC attempt of the deployment pipeline. The
@@ -125,17 +141,24 @@ type AuditEntry struct {
 	// Backoff is the delay scheduled before the next attempt (zero when
 	// the attempt succeeded or the pipeline gave up).
 	Backoff time.Duration
+	// Note carries free-form detail for non-RPC entries (e.g. the OpDelta
+	// per-push stats summary); "" for plain attempts.
+	Note string
 }
 
 // String renders one audit line.
 func (e AuditEntry) String() string {
 	out := fmt.Sprintf("#%d %s %s attempt %d", e.Seq, e.Switch, e.Op, e.Attempt)
 	if e.Err == "" {
-		return out + ": ok"
+		out += ": ok"
+	} else {
+		out += ": " + e.Err
+		if e.Backoff > 0 {
+			out += fmt.Sprintf(" (retry in %v)", e.Backoff)
+		}
 	}
-	out += ": " + e.Err
-	if e.Backoff > 0 {
-		out += fmt.Sprintf(" (retry in %v)", e.Backoff)
+	if e.Note != "" {
+		out += " [" + e.Note + "]"
 	}
 	return out
 }

@@ -1,0 +1,437 @@
+package controller
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/deploy"
+	"repro/internal/elp"
+	"repro/internal/routing"
+	"repro/internal/telemetry"
+	"repro/internal/topology"
+)
+
+// This file is the churn-resilient control loop: a controller mode where
+// topology churn (link flaps, switch drains, pod adds) re-synthesizes
+// incrementally (core.Resynth + elp.Tracker) and deploys per-switch rule
+// *deltas* computed against each switch's live active table, instead of
+// re-running the full pipeline and re-pushing whole bundles. A
+// reconciliation pass re-fetches live state and re-issues deltas until
+// the fabric matches intent, so a switch that reboots mid-churn converges
+// instead of wedging.
+
+// DeltaAgent extends SwitchAgent with the two RPCs delta deploys need:
+// reading a switch's ACTIVE table (the ground truth deltas are computed
+// against) and Patch, which applies a delta to a copy of the active table
+// and writes the result into the STAGED slot. Patch recomputes from
+// ACTIVE on every call, so re-issuing a delta after a lost reply or a
+// partial write is idempotent.
+type DeltaAgent interface {
+	SwitchAgent
+	// FetchActive returns the currently active bundle on the switch.
+	FetchActive(sw string) (deploy.SwitchBundle, error)
+	// Patch stages ApplyDelta(active, d) on the switch.
+	Patch(sw string, d deploy.SwitchDiff) error
+}
+
+// DeltaStats summarizes one delta push: what the churn event cost the
+// fabric in rule updates. It is appended to the controller's DeltaLog,
+// mirrored into the audit log as an OpDelta entry, and exported as
+// deploy.delta.* counters.
+type DeltaStats struct {
+	// Event is the churn event kind that triggered the push.
+	Event string
+	// Rule-level churn across all patched switches. RulesUnchanged counts
+	// desired rules that were already live (on both patched and skipped
+	// switches).
+	RulesAdded, RulesRemoved, RulesModified, RulesUnchanged int
+	// SwitchesChanged is the number of switches patched; SwitchesSkipped
+	// the number whose active table already matched intent (no-op).
+	SwitchesChanged, SwitchesSkipped int
+	// FullPushes counts switches that got a wholesale bundle install
+	// because the agent does not implement DeltaAgent.
+	FullPushes int
+}
+
+// String renders the stats in audit-log form.
+func (s DeltaStats) String() string {
+	return fmt.Sprintf("%s: +%d -%d ~%d =%d rules, %d switches changed, %d skipped",
+		s.Event, s.RulesAdded, s.RulesRemoved, s.RulesModified, s.RulesUnchanged,
+		s.SwitchesChanged, s.SwitchesSkipped)
+}
+
+// NewChurn builds the churn-resilient controller: generic synthesis
+// (Algorithms 1+2) under the given policy, kept up to date incrementally.
+// Use HandleChurn to feed it events and Reconcile to re-converge the
+// fabric after agent-side losses. The initial deployment is a full push.
+func NewChurn(g *topology.Graph, policy ELPPolicy, opts ...Option) (*Controller, error) {
+	ctl := &Controller{
+		g:         g,
+		policy:    policy,
+		agent:     newLoopbackAgent(),
+		deployCfg: DefaultDeployConfig(),
+		tel:       telemetry.NewRegistry(),
+		known:     make(map[string]bool),
+	}
+	ctl.synth = func(g *topology.Graph, s *elp.Set) (*core.System, error) {
+		return core.Synthesize(g, s.Paths(), core.Options{})
+	}
+	ctl.jitter = newJitter(ctl.deployCfg.JitterSeed)
+	for _, o := range opts {
+		o(ctl)
+	}
+	set := policy(g)
+	rs, err := core.NewResynth(g, set.Paths(), core.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("controller: synthesis failed: %w", err)
+	}
+	sys := rs.System()
+	if err := sys.Runtime.Verify(); err != nil {
+		return nil, fmt.Errorf("controller: refusing to deploy unverified rules: %w", err)
+	}
+	ctl.resynth = rs
+	ctl.tracker = elp.NewTracker(g, set)
+	newBundle := deploy.Export(sys.Rules)
+	if err := ctl.pushBundle(newBundle, false); err != nil {
+		return nil, err
+	}
+	ctl.current, ctl.bundle = sys, newBundle
+	ctl.noteSwitches(newBundle)
+	return ctl, nil
+}
+
+// DeltaLog returns a copy of the per-push delta stats, in push order.
+func (c *Controller) DeltaLog() []DeltaStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]DeltaStats(nil), c.deltaLog...)
+}
+
+// HandleChurn processes one churn event end to end: update the topology
+// and the ELP bookkeeping, re-synthesize incrementally, and push the rule
+// deltas. Unlike Handle — which encodes the paper's "failures need no
+// rule changes" claim — HandleChurn treats every event as an intent
+// change: paths knocked out by a down link or a drain leave the ELP (and
+// their rules leave the switches), recovered capacity re-adds them.
+//
+// Intent always advances, even when the delta push fails: the fabric
+// stays consistent on its previous bundle (two-phase rollback), the error
+// is returned, and Reconcile() re-drives the fabric toward intent.
+func (c *Controller) HandleChurn(ev Event) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.resynth == nil {
+		return fmt.Errorf("controller: HandleChurn requires a churn controller (NewChurn)")
+	}
+	switch ev.Kind {
+	case EventLinkDown:
+		c.g.FailLink(ev.A, ev.B)
+		return c.applyChurn(ev, nil, c.tracker.LinkDown(ev.A, ev.B))
+	case EventLinkUp:
+		c.g.RestoreLink(ev.A, ev.B)
+		return c.applyChurn(ev, c.tracker.LinkUp(ev.A, ev.B), nil)
+	case EventSwitchDrain:
+		return c.applyChurn(ev, nil, c.tracker.Drain(ev.A))
+	case EventSwitchUndrain:
+		return c.applyChurn(ev, c.tracker.Undrain(ev.A), nil)
+	case EventExpansion:
+		set := c.policy(c.g)
+		return c.applyChurn(ev, c.tracker.AddPaths(set.Paths()), nil)
+	default:
+		return fmt.Errorf("controller: unknown churn event kind %q", ev.Kind)
+	}
+}
+
+// applyChurn re-synthesizes for the ELP delta and pushes the resulting
+// rule deltas. Called with c.mu held.
+func (c *Controller) applyChurn(ev Event, added, removed []routing.Path) error {
+	defer c.tel.StartSpan("deploy/churn").End()
+	sys, err := c.resynth.Apply(added, removed)
+	if err != nil {
+		return fmt.Errorf("controller: incremental re-synthesis failed: %w", err)
+	}
+	if err := sys.Runtime.Verify(); err != nil {
+		return fmt.Errorf("controller: refusing to deploy unverified rules: %w", err)
+	}
+	newBundle := deploy.Export(sys.Rules)
+	stats, pushErr := c.pushDelta(newBundle)
+	stats.Event = ev.Kind.String()
+	c.deltaLog = append(c.deltaLog, stats)
+	c.auditDelta(stats)
+	if c.bundle != nil {
+		if d := deploy.Diff(c.bundle, newBundle); len(d) > 0 {
+			c.pushedDiffs = append(c.pushedDiffs, d)
+		}
+	}
+	c.current, c.bundle = sys, newBundle
+	c.noteSwitches(newBundle)
+	return pushErr
+}
+
+// auditDelta appends the per-push stats summary entry and bumps the
+// delta counters.
+func (c *Controller) auditDelta(stats DeltaStats) {
+	c.auditLog = append(c.auditLog, AuditEntry{
+		Seq: c.auditSeq, Switch: "*", Op: OpDelta, Attempt: 1, Note: stats.String(),
+	})
+	c.auditSeq++
+	c.tel.Counter("deploy.delta.rules_added").Add(int64(stats.RulesAdded))
+	c.tel.Counter("deploy.delta.rules_removed").Add(int64(stats.RulesRemoved))
+	c.tel.Counter("deploy.delta.rules_modified").Add(int64(stats.RulesModified))
+	c.tel.Counter("deploy.delta.rules_unchanged").Add(int64(stats.RulesUnchanged))
+	c.tel.Counter("deploy.delta.switches_changed").Add(int64(stats.SwitchesChanged))
+	c.tel.Counter("deploy.delta.switches_skipped").Add(int64(stats.SwitchesSkipped))
+}
+
+// pushDelta deploys newBundle by patching only the switches whose intent
+// changed, with the same two-phase discipline as pushBundle: stage every
+// delta (patch + staged readback verify), then activate with rollback on
+// failure. Deltas are computed against each switch's live ACTIVE table,
+// so a switch some earlier reconciliation already fixed is skipped as a
+// no-op. Called with c.mu held.
+func (c *Controller) pushDelta(newBundle *deploy.Bundle) (DeltaStats, error) {
+	push := c.tel.StartSpan("deploy/push-delta")
+	defer push.End()
+	c.tel.Counter("deploy.pushes").Inc()
+	var stats DeltaStats
+
+	old := c.bundle
+	if old == nil {
+		old = &deploy.Bundle{Switches: map[string]deploy.SwitchBundle{}}
+	}
+	diffs := deploy.Diff(old, newBundle)
+	names := make([]string, 0, len(diffs))
+	for sw := range diffs {
+		names = append(names, sw)
+	}
+	sort.Strings(names)
+	for sw, sb := range newBundle.Switches {
+		if _, ok := diffs[sw]; !ok {
+			stats.SwitchesSkipped++
+			stats.RulesUnchanged += len(sb.Rules)
+		}
+	}
+
+	da, hasDelta := c.agent.(DeltaAgent)
+
+	// Phase 1: stage deltas on every switch whose intent changed. Failure
+	// aborts with the active fabric untouched.
+	stage := push.Child("stage")
+	var toActivate []string
+	for _, sw := range names {
+		desired := newBundle.Switches[sw]
+		if !hasDelta {
+			a, r, m := diffs[sw].Counts()
+			stats.RulesAdded += a
+			stats.RulesRemoved += r
+			stats.RulesModified += m
+			stats.RulesUnchanged += len(desired.Rules) - a - m
+			stats.FullPushes++
+			stats.SwitchesChanged++
+			if err := c.installVerify(sw, desired); err != nil {
+				c.tel.Counter("deploy.aborted_staging").Inc()
+				stage.End()
+				return stats, err
+			}
+			toActivate = append(toActivate, sw)
+			continue
+		}
+		var active deploy.SwitchBundle
+		if err := c.attempt(sw, OpFetchActive, func() error {
+			var e error
+			active, e = da.FetchActive(sw)
+			return e
+		}); err != nil {
+			c.tel.Counter("deploy.aborted_staging").Inc()
+			stage.End()
+			return stats, err
+		}
+		delta := deploy.DeltaFor(active, desired)
+		if delta.Empty() {
+			// Live state already matches intent (e.g. a reconcile got
+			// here first): nothing to stage, nothing to activate.
+			stats.SwitchesSkipped++
+			stats.RulesUnchanged += len(desired.Rules)
+			continue
+		}
+		a, r, m := delta.Counts()
+		stats.RulesAdded += a
+		stats.RulesRemoved += r
+		stats.RulesModified += m
+		stats.RulesUnchanged += len(desired.Rules) - a - m
+		stats.SwitchesChanged++
+		if err := c.patchVerify(da, sw, delta, desired); err != nil {
+			c.tel.Counter("deploy.aborted_staging").Inc()
+			stage.End()
+			return stats, err
+		}
+		toActivate = append(toActivate, sw)
+	}
+	stage.End()
+
+	// Phase 2: flip, rolling back every switch already flipped if one
+	// cannot activate.
+	activate := push.Child("activate")
+	defer activate.End()
+	var activated []string
+	for _, sw := range toActivate {
+		if err := c.attempt(sw, OpActivate, func() error {
+			return c.agent.Activate(sw)
+		}); err != nil {
+			c.rollback(activated)
+			return stats, fmt.Errorf("controller: rolled back to previous bundle: %w", err)
+		}
+		activated = append(activated, sw)
+	}
+	return stats, nil
+}
+
+// patchVerify stages one delta and confirms the staged readback matches
+// the desired table. Patch recomputes staged from the switch's active
+// table, so each retry is a clean re-application — a partial write never
+// compounds.
+func (c *Controller) patchVerify(da DeltaAgent, sw string, delta deploy.SwitchDiff, want deploy.SwitchBundle) error {
+	maxTries := c.deployCfg.MaxAttempts
+	if maxTries < 1 {
+		maxTries = 1
+	}
+	var err error
+	for try := 1; try <= maxTries; try++ {
+		op := OpPatch
+		err = da.Patch(sw, delta)
+		if err == nil {
+			c.auditRecord(sw, OpPatch, try, nil, 0)
+			op = OpVerify
+			var got deploy.SwitchBundle
+			got, err = da.Fetch(sw)
+			if err == nil && !sameRules(got.Rules, want.Rules) {
+				err = fmt.Errorf("staged delta mismatch: %d/%d rules landed", len(got.Rules), len(want.Rules))
+				c.tel.Counter("deploy.partial_detected").Inc()
+			}
+			if err == nil {
+				c.auditRecord(sw, OpVerify, try, nil, 0)
+				c.tel.Gauge("deploy_last_attempts", "switch", sw, "op", OpPatch).Set(float64(try))
+				if try > 1 {
+					c.tel.Counter("deploy_retries_total", "switch", sw).Add(int64(try - 1))
+				}
+				return nil
+			}
+		}
+		var backoff time.Duration
+		if try < maxTries {
+			backoff = c.backoffFor(try)
+			c.tel.Counter("deploy.backoff_ns").Add(int64(backoff))
+			if c.deployCfg.Sleep != nil {
+				c.deployCfg.Sleep(backoff)
+			}
+		}
+		c.auditRecord(sw, op, try, err, backoff)
+	}
+	c.tel.Counter("deploy.gave_up").Inc()
+	c.tel.Gauge("deploy_last_attempts", "switch", sw, "op", OpPatch).Set(float64(maxTries))
+	c.tel.Counter("deploy_retries_total", "switch", sw).Add(int64(maxTries - 1))
+	return fmt.Errorf("controller: patch on %s failed after %d attempts: %w", sw, maxTries, err)
+}
+
+// Reconcile drives the fabric back to the deployed intent (c.bundle): it
+// re-fetches every known switch's active table, computes the delta to
+// intent, and re-issues patch+activate for any divergence — up to
+// DeployConfig.ReconcileRounds sweeps. This is the convergence path after
+// partial deploy failures, switch reboots, or any agent-side state loss.
+// Unlike a push, reconciliation activates per switch immediately: the
+// fabric is already divergent, so convergence beats atomicity.
+//
+// It returns how many switches were repaired. A fabric still divergent
+// after the round budget is an error. Agents without DeltaAgent support
+// fall back to a full forced re-push (Redeploy semantics).
+func (c *Controller) Reconcile() (fixed int, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.bundle == nil {
+		return 0, fmt.Errorf("controller: nothing deployed yet")
+	}
+	da, hasDelta := c.agent.(DeltaAgent)
+	if !hasDelta {
+		return 0, c.pushBundle(c.bundle, true)
+	}
+	defer c.tel.StartSpan("deploy/reconcile").End()
+	rounds := c.deployCfg.ReconcileRounds
+	if rounds < 1 {
+		rounds = 3
+	}
+	names := make([]string, 0, len(c.known))
+	for sw := range c.known {
+		names = append(names, sw)
+	}
+	sort.Strings(names)
+
+	for round := 1; round <= rounds; round++ {
+		c.tel.Counter("deploy.reconcile.rounds").Inc()
+		dirty := false
+		var roundErr error
+		for _, sw := range names {
+			desired := c.bundle.Switches[sw] // zero value: switch should hold no rules
+			var active deploy.SwitchBundle
+			if e := c.attempt(sw, OpFetchActive, func() error {
+				var e error
+				active, e = da.FetchActive(sw)
+				return e
+			}); e != nil {
+				dirty = true
+				if roundErr == nil {
+					roundErr = e
+				}
+				continue
+			}
+			delta := deploy.DeltaFor(active, desired)
+			if delta.Empty() {
+				continue
+			}
+			dirty = true
+			if e := c.patchVerify(da, sw, delta, desired); e != nil {
+				if roundErr == nil {
+					roundErr = e
+				}
+				continue
+			}
+			if e := c.attempt(sw, OpActivate, func() error { return da.Activate(sw) }); e != nil {
+				if roundErr == nil {
+					roundErr = e
+				}
+				continue
+			}
+			fixed++
+			c.tel.Counter("deploy.reconcile.switches_fixed").Inc()
+		}
+		if !dirty {
+			return fixed, nil
+		}
+		if round == rounds && roundErr != nil {
+			return fixed, fmt.Errorf("controller: fabric did not converge after %d reconcile rounds: %w", rounds, roundErr)
+		}
+	}
+	// The round budget is spent; verify the last sweep actually converged.
+	for _, sw := range names {
+		active, e := da.FetchActive(sw)
+		if e != nil {
+			return fixed, fmt.Errorf("controller: reconcile verification: %w", e)
+		}
+		if d := deploy.DeltaFor(active, c.bundle.Switches[sw]); !d.Empty() {
+			return fixed, fmt.Errorf("controller: switch %s still diverges from intent after %d reconcile rounds", sw, rounds)
+		}
+	}
+	return fixed, nil
+}
+
+// noteSwitches records bundle membership in the reconcile roster. Called
+// with c.mu held.
+func (c *Controller) noteSwitches(b *deploy.Bundle) {
+	if c.known == nil {
+		c.known = make(map[string]bool)
+	}
+	for sw := range b.Switches {
+		c.known[sw] = true
+	}
+}

@@ -61,6 +61,12 @@ const (
 	// EventExpansion reports that the topology grew; the controller
 	// re-evaluates the policy and pushes the incremental bundle.
 	EventExpansion
+	// EventSwitchDrain asks that switch A carry no expected lossless
+	// paths (maintenance). Only the churn controller (HandleChurn) acts
+	// on it — the classic Handle path has no drain notion.
+	EventSwitchDrain
+	// EventSwitchUndrain returns switch A to service.
+	EventSwitchUndrain
 )
 
 // String renders the kind using the wire names ("link-down", "link-up",
@@ -73,6 +79,10 @@ func (k EventKind) String() string {
 		return "link-up"
 	case EventExpansion:
 		return "expansion"
+	case EventSwitchDrain:
+		return "switch-drain"
+	case EventSwitchUndrain:
+		return "switch-undrain"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -89,6 +99,10 @@ func ParseEventKind(s string) (EventKind, error) {
 		return EventLinkUp, nil
 	case "expansion":
 		return EventExpansion, nil
+	case "switch-drain":
+		return EventSwitchDrain, nil
+	case "switch-undrain":
+		return EventSwitchUndrain, nil
 	default:
 		return EventInvalid, fmt.Errorf("controller: unknown event kind %q", s)
 	}
@@ -97,7 +111,8 @@ func ParseEventKind(s string) (EventKind, error) {
 // Event is a topology event delivered to the controller.
 type Event struct {
 	Kind EventKind
-	// A, B name the link endpoints for link events.
+	// A, B name the link endpoints for link events; drain events name
+	// the switch in A.
 	A, B topology.NodeID
 }
 
@@ -125,6 +140,14 @@ type Controller struct {
 
 	auditLog []AuditEntry
 	auditSeq int
+
+	// Churn-mode state (NewChurn): the incremental synthesis engine, the
+	// ELP bookkeeping that feeds it, per-delta-push stats, and the roster
+	// of switches ever touched (what Reconcile sweeps).
+	resynth  *core.Resynth
+	tracker  *elp.Tracker
+	deltaLog []DeltaStats
+	known    map[string]bool
 	// tel receives the deployment metrics (deploy.* counters, per-switch
 	// retry/rollback gauges) and the push-pipeline spans. Each controller
 	// gets its own registry by default so Counters() stays deterministic

@@ -1,0 +1,151 @@
+package core
+
+// Deletion-free linear-probe refcount tables for the resynth refGraphs.
+// The workload is increment/decrement storms over a small, recurrent key
+// universe (every flap revisits the same (port, tag) vertices), so open
+// addressing with zero-key sentinels beats the builtin map by a wide
+// margin: a key whose count drops to zero keeps its slot — it is almost
+// certainly coming back on the next churn event — and zero-count slots
+// are only shed when a growth rehash happens anyway. Packed tag keys are
+// never zero (tags start at 1), which frees 0 as the empty sentinel.
+
+type cmap32 struct {
+	keys  []uint32
+	vals  []int32
+	mask  uint32
+	shift uint32 // 32 - log2(len(keys)): Fibonacci hashing keeps the
+	// product's high bits, which mix every input bit — packed tag keys
+	// differ mostly in their high (port) bits
+	live int // keys with a nonzero count
+	used int // occupied slots, including zero-count keys
+}
+
+func newCmap32() *cmap32 {
+	return &cmap32{keys: make([]uint32, 2048), vals: make([]int32, 2048), mask: 2047, shift: 21}
+}
+
+func (m *cmap32) slot(k uint32) uint32 {
+	i := (k * 2654435761) >> m.shift
+	for m.keys[i] != 0 && m.keys[i] != k {
+		i = (i + 1) & m.mask
+	}
+	return i
+}
+
+// incr bumps k's count and reports a 0→1 set transition.
+func (m *cmap32) incr(k uint32) bool {
+	i := m.slot(k)
+	if m.keys[i] == 0 {
+		if (m.used+1)*4 > len(m.keys)*3 {
+			m.grow()
+			i = m.slot(k)
+		}
+		m.keys[i] = k
+		m.used++
+	}
+	m.vals[i]++
+	if m.vals[i] == 1 {
+		m.live++
+		return true
+	}
+	return false
+}
+
+// decr drops k's count and reports a 1→0 set transition. Decrementing an
+// absent or zero-count key is a refcount underflow — a caller bug.
+func (m *cmap32) decr(k uint32) bool {
+	i := m.slot(k)
+	if m.keys[i] == 0 || m.vals[i] <= 0 {
+		panic("core: resynth refcount underflow")
+	}
+	m.vals[i]--
+	if m.vals[i] == 0 {
+		m.live--
+		return true
+	}
+	return false
+}
+
+func (m *cmap32) grow() {
+	oldK, oldV := m.keys, m.vals
+	n := len(oldK) * 2
+	m.keys, m.vals = make([]uint32, n), make([]int32, n)
+	m.mask = uint32(n - 1)
+	m.shift--
+	m.used = 0
+	for j, k := range oldK {
+		if k != 0 && oldV[j] > 0 {
+			i := m.slot(k)
+			m.keys[i], m.vals[i] = k, oldV[j]
+			m.used++
+		}
+	}
+}
+
+type cmap64 struct {
+	keys  []uint64
+	vals  []int32
+	mask  uint32
+	shift uint32 // 64 - log2(len(keys))
+	live  int
+	used  int
+}
+
+func newCmap64() *cmap64 {
+	return &cmap64{keys: make([]uint64, 4096), vals: make([]int32, 4096), mask: 4095, shift: 52}
+}
+
+func (m *cmap64) slot(k uint64) uint32 {
+	i := uint32(k * 0x9E3779B97F4A7C15 >> m.shift)
+	for m.keys[i] != 0 && m.keys[i] != k {
+		i = (i + 1) & m.mask
+	}
+	return i
+}
+
+func (m *cmap64) incr(k uint64) bool {
+	i := m.slot(k)
+	if m.keys[i] == 0 {
+		if (m.used+1)*4 > len(m.keys)*3 {
+			m.grow()
+			i = m.slot(k)
+		}
+		m.keys[i] = k
+		m.used++
+	}
+	m.vals[i]++
+	if m.vals[i] == 1 {
+		m.live++
+		return true
+	}
+	return false
+}
+
+func (m *cmap64) decr(k uint64) bool {
+	i := m.slot(k)
+	if m.keys[i] == 0 || m.vals[i] <= 0 {
+		panic("core: resynth refcount underflow")
+	}
+	m.vals[i]--
+	if m.vals[i] == 0 {
+		m.live--
+		return true
+	}
+	return false
+}
+
+func (m *cmap64) grow() {
+	oldK, oldV := m.keys, m.vals
+	n := len(oldK) * 2
+	m.keys, m.vals = make([]uint64, n), make([]int32, n)
+	m.mask = uint32(n - 1)
+	m.shift--
+	m.used = 0
+	for j, k := range oldK {
+		if k != 0 && oldV[j] > 0 {
+			i := m.slot(k)
+			m.keys[i], m.vals[i] = k, oldV[j]
+			m.used++
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package deploy
+
+import (
+	"reflect"
+	"testing"
+)
+
+func sb(rules ...RuleJSON) SwitchBundle { return SwitchBundle{Rules: rules} }
+
+func TestDeltaForClassifies(t *testing.T) {
+	from := sb(
+		RuleJSON{Tag: 1, In: 0, Out: 1, NewTag: 1}, // unchanged
+		RuleJSON{Tag: 1, In: 1, Out: 0, NewTag: 1}, // rewrite changes
+		RuleJSON{Tag: 2, In: 0, Out: 1, NewTag: 2}, // removed
+	)
+	to := sb(
+		RuleJSON{Tag: 1, In: 0, Out: 1, NewTag: 1},
+		RuleJSON{Tag: 1, In: 1, Out: 0, NewTag: 2},
+		RuleJSON{Tag: 3, In: 2, Out: 1, NewTag: 3}, // added
+	)
+	d := DeltaFor(from, to)
+	if a, r, m := d.Counts(); a != 1 || r != 1 || m != 1 {
+		t.Fatalf("Counts() = (%d, %d, %d), want (1, 1, 1): %+v", a, r, m, d)
+	}
+	if d.Added[0] != (RuleJSON{Tag: 3, In: 2, Out: 1, NewTag: 3}) {
+		t.Errorf("Added = %+v", d.Added)
+	}
+	if d.Removed[0] != (RuleJSON{Tag: 2, In: 0, Out: 1, NewTag: 2}) {
+		t.Errorf("Removed = %+v", d.Removed)
+	}
+	if d.Modified[0].NewTag != 2 || d.Modified[0].OldNewTag != 1 {
+		t.Errorf("Modified = %+v", d.Modified)
+	}
+}
+
+func TestDeltaForIdenticalIsEmpty(t *testing.T) {
+	b := sb(RuleJSON{Tag: 1, In: 0, Out: 1, NewTag: 2}, RuleJSON{Tag: 2, In: 1, Out: 0, NewTag: 2})
+	if d := DeltaFor(b, b); !d.Empty() {
+		t.Fatalf("identical tables produced a non-empty delta: %+v", d)
+	}
+	if d := DeltaFor(SwitchBundle{}, SwitchBundle{}); !d.Empty() {
+		t.Fatalf("empty tables produced a non-empty delta: %+v", d)
+	}
+}
+
+// TestApplyDeltaRoundTrip: for arbitrary from/to tables,
+// ApplyDelta(from, DeltaFor(from, to)) reproduces `to` exactly (in
+// canonical order), and re-applying the same delta is a no-op — the
+// idempotence the controller's blind RPC retries rely on.
+func TestApplyDeltaRoundTrip(t *testing.T) {
+	cases := []struct{ from, to SwitchBundle }{
+		{sb(), sb(RuleJSON{Tag: 1, In: 0, Out: 1, NewTag: 1})},
+		{sb(RuleJSON{Tag: 1, In: 0, Out: 1, NewTag: 1}), sb()},
+		{
+			sb(RuleJSON{Tag: 1, In: 0, Out: 1, NewTag: 1}, RuleJSON{Tag: 2, In: 1, Out: 2, NewTag: 2}),
+			sb(RuleJSON{Tag: 1, In: 0, Out: 1, NewTag: 3}, RuleJSON{Tag: 5, In: 1, Out: 2, NewTag: 5}),
+		},
+	}
+	for i, c := range cases {
+		d := DeltaFor(c.from, c.to)
+		got := ApplyDelta(c.from, d)
+		want := ApplyDelta(c.to, SwitchDiff{}) // canonicalize ordering
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("case %d: ApplyDelta = %+v, want %+v", i, got, want)
+		}
+		if again := ApplyDelta(got, d); !reflect.DeepEqual(again, want) {
+			t.Errorf("case %d: delta is not idempotent: %+v", i, again)
+		}
+	}
+}
+
+// TestDiffClassifiesModified: a rewrite-only change surfaces as Modified
+// in the bundle-level diff, not as a remove+add pair.
+func TestDiffClassifiesModified(t *testing.T) {
+	oldB := &Bundle{Switches: map[string]SwitchBundle{
+		"S1": sb(RuleJSON{Tag: 1, In: 0, Out: 1, NewTag: 1}),
+		"S2": sb(RuleJSON{Tag: 1, In: 0, Out: 1, NewTag: 1}),
+	}}
+	newB := &Bundle{Switches: map[string]SwitchBundle{
+		"S1": sb(RuleJSON{Tag: 1, In: 0, Out: 1, NewTag: 2}),
+		"S2": sb(RuleJSON{Tag: 1, In: 0, Out: 1, NewTag: 1}),
+	}}
+	d := Diff(oldB, newB)
+	if len(d) != 1 {
+		t.Fatalf("Diff touched %d switches, want 1: %v", len(d), d)
+	}
+	s1 := d["S1"]
+	if a, r, m := s1.Counts(); a != 0 || r != 0 || m != 1 {
+		t.Fatalf("S1 diff = (%d, %d, %d), want pure modify: %+v", a, r, m, s1)
+	}
+}

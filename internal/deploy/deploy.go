@@ -92,14 +92,103 @@ func Import(g *topology.Graph, b *Bundle) (*core.Ruleset, error) {
 	return rs, nil
 }
 
-// SwitchDiff lists the rule changes one switch needs.
+// ModifiedRule records a rewrite change for an existing match: the entry
+// carries the new NewTag, OldNewTag what it replaced.
+type ModifiedRule struct {
+	RuleJSON
+	OldNewTag int
+}
+
+// SwitchDiff lists the rule changes one switch needs, classified by
+// match key (tag, in, out): entries whose match is new are Added, gone
+// matches are Removed, and matches whose rewrite changed are Modified.
+// It doubles as the wire-level patch a delta-capable agent applies to a
+// switch's active table (see ApplyDelta).
 type SwitchDiff struct {
-	Added   []RuleJSON
-	Removed []RuleJSON
+	Added    []RuleJSON
+	Removed  []RuleJSON
+	Modified []ModifiedRule
 }
 
 // Empty reports whether the switch needs no changes.
-func (d SwitchDiff) Empty() bool { return len(d.Added) == 0 && len(d.Removed) == 0 }
+func (d SwitchDiff) Empty() bool {
+	return len(d.Added) == 0 && len(d.Removed) == 0 && len(d.Modified) == 0
+}
+
+// Counts returns the number of added, removed, and modified rules.
+func (d SwitchDiff) Counts() (added, removed, modified int) {
+	return len(d.Added), len(d.Removed), len(d.Modified)
+}
+
+// matchKey identifies a rule by its match fields only.
+func matchKey(r RuleJSON) string { return fmt.Sprintf("%d/%d/%d", r.Tag, r.In, r.Out) }
+
+// DeltaFor computes the patch turning one switch's table `from` into
+// `to`, in canonical (sorted) order.
+func DeltaFor(from, to SwitchBundle) SwitchDiff {
+	fromSet := make(map[string]RuleJSON, len(from.Rules))
+	for _, r := range from.Rules {
+		fromSet[matchKey(r)] = r
+	}
+	toSet := make(map[string]RuleJSON, len(to.Rules))
+	for _, r := range to.Rules {
+		toSet[matchKey(r)] = r
+	}
+	var d SwitchDiff
+	for k, r := range toSet {
+		prev, ok := fromSet[k]
+		switch {
+		case !ok:
+			d.Added = append(d.Added, r)
+		case prev.NewTag != r.NewTag:
+			d.Modified = append(d.Modified, ModifiedRule{RuleJSON: r, OldNewTag: prev.NewTag})
+		}
+	}
+	for k, r := range fromSet {
+		if _, ok := toSet[k]; !ok {
+			d.Removed = append(d.Removed, r)
+		}
+	}
+	sortRules(d.Added)
+	sortRules(d.Removed)
+	sort.Slice(d.Modified, func(i, j int) bool {
+		a, c := d.Modified[i].RuleJSON, d.Modified[j].RuleJSON
+		if a.Tag != c.Tag {
+			return a.Tag < c.Tag
+		}
+		if a.In != c.In {
+			return a.In < c.In
+		}
+		return a.Out < c.Out
+	})
+	return d
+}
+
+// ApplyDelta applies a patch to a switch table and returns the result in
+// canonical order. Removals match on (tag, in, out) only; adds and
+// modifies both install their NewTag, so applying the same delta twice is
+// idempotent (the agent-retry property the controller relies on).
+func ApplyDelta(from SwitchBundle, d SwitchDiff) SwitchBundle {
+	set := make(map[string]RuleJSON, len(from.Rules)+len(d.Added))
+	for _, r := range from.Rules {
+		set[matchKey(r)] = r
+	}
+	for _, r := range d.Removed {
+		delete(set, matchKey(r))
+	}
+	for _, r := range d.Added {
+		set[matchKey(r)] = r
+	}
+	for _, m := range d.Modified {
+		set[matchKey(m.RuleJSON)] = m.RuleJSON
+	}
+	out := SwitchBundle{Rules: make([]RuleJSON, 0, len(set))}
+	for _, r := range set {
+		out.Rules = append(out.Rules, r)
+	}
+	sortRules(out.Rules)
+	return out
+}
 
 // Diff computes per-switch changes from old to new bundle. Switches
 // absent from a side are treated as having no rules there.
@@ -112,30 +201,8 @@ func Diff(oldB, newB *Bundle) map[string]SwitchDiff {
 	for n := range newB.Switches {
 		names[n] = true
 	}
-	key := func(r RuleJSON) string { return fmt.Sprintf("%d/%d/%d>%d", r.Tag, r.In, r.Out, r.NewTag) }
 	for n := range names {
-		oldSet := map[string]RuleJSON{}
-		for _, r := range oldB.Switches[n].Rules {
-			oldSet[key(r)] = r
-		}
-		newSet := map[string]RuleJSON{}
-		for _, r := range newB.Switches[n].Rules {
-			newSet[key(r)] = r
-		}
-		var d SwitchDiff
-		for k, r := range newSet {
-			if _, ok := oldSet[k]; !ok {
-				d.Added = append(d.Added, r)
-			}
-		}
-		for k, r := range oldSet {
-			if _, ok := newSet[k]; !ok {
-				d.Removed = append(d.Removed, r)
-			}
-		}
-		if !d.Empty() {
-			sortRules(d.Added)
-			sortRules(d.Removed)
+		if d := DeltaFor(oldB.Switches[n], newB.Switches[n]); !d.Empty() {
 			out[n] = d
 		}
 	}

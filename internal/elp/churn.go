@@ -1,0 +1,237 @@
+package elp
+
+import (
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// Tracker maintains an ELP set through fabric churn: link failures and
+// recoveries, switch drains for maintenance, and expansion-driven path
+// additions. It partitions the tracked paths into *active* (currently
+// usable, fed to synthesis) and *absent* (knocked out by some churn
+// event, kept so a recovery can restore them), and every churn method
+// returns the exact paths that moved — the delta the incremental
+// re-synthesis path (core.Resynth) consumes.
+//
+// Absent paths live in one global pool, not per-event buckets: a path
+// knocked out by link A may also traverse failed link B or drained
+// switch S, so every recovery re-validates the whole pool against
+// current topology health rather than trusting the event that parked it.
+type Tracker struct {
+	g       *topology.Graph
+	idx     map[string]int // path key -> slot in list
+	list    []trackedPath
+	dead    int // tombstoned slots
+	drained map[topology.NodeID]bool
+}
+
+type trackedPath struct {
+	path   routing.Path // nil = tombstone
+	active bool
+}
+
+// NewTracker tracks the paths of s (all initially active) over g.
+func NewTracker(g *topology.Graph, s *Set) *Tracker {
+	t := &Tracker{
+		g:       g,
+		idx:     make(map[string]int, s.Len()),
+		drained: make(map[topology.NodeID]bool),
+	}
+	for _, p := range s.Paths() {
+		t.idx[p.Key()] = len(t.list)
+		t.list = append(t.list, trackedPath{path: p, active: true})
+	}
+	return t
+}
+
+// Active returns the currently active paths in insertion order.
+func (t *Tracker) Active() []routing.Path {
+	out := make([]routing.Path, 0, len(t.list))
+	for _, e := range t.list {
+		if e.path != nil && e.active {
+			out = append(out, e.path)
+		}
+	}
+	return out
+}
+
+// ActiveLen returns the number of active paths.
+func (t *Tracker) ActiveLen() int {
+	n := 0
+	for _, e := range t.list {
+		if e.path != nil && e.active {
+			n++
+		}
+	}
+	return n
+}
+
+// AbsentLen returns the number of tracked-but-unusable paths.
+func (t *Tracker) AbsentLen() int {
+	n := 0
+	for _, e := range t.list {
+		if e.path != nil && !e.active {
+			n++
+		}
+	}
+	return n
+}
+
+// Drained reports whether sw is currently drained.
+func (t *Tracker) Drained(sw topology.NodeID) bool { return t.drained[sw] }
+
+// Usable reports whether p could be active right now: every hop crosses a
+// healthy link and no node on it is drained.
+func (t *Tracker) Usable(p routing.Path) bool {
+	for _, n := range p {
+		if t.drained[n] {
+			return false
+		}
+	}
+	for i := 1; i < len(p); i++ {
+		l := t.g.LinkBetween(p[i-1], p[i])
+		if l == nil || l.Failed {
+			return false
+		}
+	}
+	return true
+}
+
+// LinkDown deactivates every active path traversing the a-b link and
+// returns them. The caller is responsible for the topology-side
+// Graph.FailLink; Tracker only does path bookkeeping.
+func (t *Tracker) LinkDown(a, b topology.NodeID) []routing.Path {
+	var out []routing.Path
+	for i := range t.list {
+		e := &t.list[i]
+		if e.path == nil || !e.active || !traverses(e.path, a, b) {
+			continue
+		}
+		e.active = false
+		out = append(out, e.path)
+	}
+	return out
+}
+
+// LinkUp re-validates the whole absent pool (the a-b arguments are
+// documentation of the trigger; restoring one link can revive paths
+// parked by any earlier event) and returns the paths that became active.
+// The caller restores the link in the Graph first.
+func (t *Tracker) LinkUp(a, b topology.NodeID) []routing.Path {
+	return t.revalidate()
+}
+
+// Drain marks sw as drained and deactivates every active path visiting
+// it, returning them. The topology is untouched: drained switches still
+// forward while the controller removes traffic from them.
+func (t *Tracker) Drain(sw topology.NodeID) []routing.Path {
+	if t.drained[sw] {
+		return nil
+	}
+	t.drained[sw] = true
+	var out []routing.Path
+	for i := range t.list {
+		e := &t.list[i]
+		if e.path == nil || !e.active || !visits(e.path, sw) {
+			continue
+		}
+		e.active = false
+		out = append(out, e.path)
+	}
+	return out
+}
+
+// Undrain clears the drain mark and returns the absent paths that became
+// active again.
+func (t *Tracker) Undrain(sw topology.NodeID) []routing.Path {
+	if !t.drained[sw] {
+		return nil
+	}
+	delete(t.drained, sw)
+	return t.revalidate()
+}
+
+// AddPaths tracks any paths not yet known (deduplicated by key) — the
+// expansion entry point, fed the re-enumerated policy output. Usable
+// paths start active and are returned; unusable ones are parked absent.
+func (t *Tracker) AddPaths(paths []routing.Path) (activated []routing.Path) {
+	for _, p := range paths {
+		k := p.Key()
+		if _, ok := t.idx[k]; ok {
+			continue
+		}
+		usable := t.Usable(p)
+		t.idx[k] = len(t.list)
+		t.list = append(t.list, trackedPath{path: p, active: usable})
+		if usable {
+			activated = append(activated, p)
+		}
+	}
+	return activated
+}
+
+// Remove forgets paths entirely (no recovery will restore them).
+func (t *Tracker) Remove(paths []routing.Path) (deactivated []routing.Path) {
+	for _, p := range paths {
+		idx, ok := t.idx[p.Key()]
+		if !ok {
+			continue
+		}
+		e := &t.list[idx]
+		if e.active {
+			deactivated = append(deactivated, e.path)
+		}
+		delete(t.idx, p.Key())
+		e.path = nil
+		t.dead++
+	}
+	t.compact()
+	return deactivated
+}
+
+// revalidate sweeps the absent pool and activates every path that is
+// usable under current link health and drain marks.
+func (t *Tracker) revalidate() []routing.Path {
+	var out []routing.Path
+	for i := range t.list {
+		e := &t.list[i]
+		if e.path == nil || e.active || !t.Usable(e.path) {
+			continue
+		}
+		e.active = true
+		out = append(out, e.path)
+	}
+	return out
+}
+
+func (t *Tracker) compact() {
+	if t.dead <= len(t.list)/2 || t.dead == 0 {
+		return
+	}
+	live := make([]trackedPath, 0, len(t.list)-t.dead)
+	for _, e := range t.list {
+		if e.path != nil {
+			t.idx[e.path.Key()] = len(live)
+			live = append(live, e)
+		}
+	}
+	t.list, t.dead = live, 0
+}
+
+func traverses(p routing.Path, a, b topology.NodeID) bool {
+	for i := 1; i < len(p); i++ {
+		if (p[i-1] == a && p[i] == b) || (p[i-1] == b && p[i] == a) {
+			return true
+		}
+	}
+	return false
+}
+
+func visits(p routing.Path, n topology.NodeID) bool {
+	for _, x := range p {
+		if x == n {
+			return true
+		}
+	}
+	return false
+}

@@ -10,6 +10,7 @@
 package sweep
 
 import (
+	"fmt"
 	"sync"
 
 	"repro/internal/parallel"
@@ -26,8 +27,10 @@ func Seeds(first int64, n int) []int64 {
 	return out
 }
 
-// run is the shared worker pool: fn fills slot i for seeds[i].
-func run[T any](seeds []int64, par int, fn func(i int, seed int64) (T, error)) ([]T, error) {
+// run is the shared worker pool: fn fills slot i for seeds[i]. It
+// returns the per-seed error slots so callers choose their own error
+// policy (Run reports the first in seed order, RunMerged also counts).
+func run[T any](seeds []int64, par int, fn func(i int, seed int64) (T, error)) ([]T, []error) {
 	results := make([]T, len(seeds))
 	errs := make([]error, len(seeds))
 	workers := parallel.Workers(par, len(seeds))
@@ -53,12 +56,17 @@ func run[T any](seeds []int64, par int, fn func(i int, seed int64) (T, error)) (
 		close(next)
 		wg.Wait()
 	}
+	return results, errs
+}
+
+// firstError returns the first non-nil error in seed order.
+func firstError(errs []error) error {
 	for _, err := range errs {
 		if err != nil {
-			return results, err
+			return err
 		}
 	}
-	return results, nil
+	return nil
 }
 
 // Run executes fn once per seed on min(par, len(seeds)) workers (par <= 0
@@ -68,7 +76,8 @@ func run[T any](seeds []int64, par int, fn func(i int, seed int64) (T, error)) (
 // lost the race"), with the corresponding zero-valued results left in
 // place.
 func Run[T any](seeds []int64, par int, fn func(seed int64) (T, error)) ([]T, error) {
-	return run(seeds, par, func(_ int, seed int64) (T, error) { return fn(seed) })
+	results, errs := run(seeds, par, func(_ int, seed int64) (T, error) { return fn(seed) })
+	return results, firstError(errs)
 }
 
 // RunMerged is Run for instrumented sweeps: each run receives a private
@@ -76,6 +85,13 @@ func Run[T any](seeds []int64, par int, fn func(seed int64) (T, error)) ([]T, er
 // fast path), and after every run completes the private registries merge
 // into reg in seed order. Counters and histograms are commutative, so the
 // merged aggregate is identical for par=1 and par=N.
+//
+// Unlike Run, a failure does not hide later ones: when any seed fails,
+// the returned error carries the total failed-seed count alongside the
+// first failure in seed order (unwrappable via errors.Is/As), and the
+// aggregate registry (when non-nil) gains "sweep.seeds" and
+// "sweep.seed_failures" counters — so a long churn soak that loses 30
+// seeds reads as 30, not as 1.
 func RunMerged[T any](seeds []int64, par int, reg *telemetry.Registry,
 	fn func(seed int64, reg *telemetry.Registry) (T, error)) ([]T, error) {
 	regs := make([]*telemetry.Registry, len(seeds))
@@ -84,13 +100,25 @@ func RunMerged[T any](seeds []int64, par int, reg *telemetry.Registry,
 			regs[i] = telemetry.NewRegistry()
 		}
 	}
-	results, err := run(seeds, par, func(i int, seed int64) (T, error) {
+	results, errs := run(seeds, par, func(i int, seed int64) (T, error) {
 		return fn(seed, regs[i])
 	})
+	failed := 0
+	for _, err := range errs {
+		if err != nil {
+			failed++
+		}
+	}
 	if reg != nil {
 		for _, r := range regs {
 			reg.Merge(r.Snapshot())
 		}
+		reg.Counter("sweep.seeds").Add(int64(len(seeds)))
+		reg.Counter("sweep.seed_failures").Add(int64(failed))
+	}
+	err := firstError(errs)
+	if failed > 1 {
+		err = fmt.Errorf("sweep: %d of %d seeds failed; first: %w", failed, len(seeds), err)
 	}
 	return results, err
 }

@@ -90,6 +90,47 @@ func TestRunMergedTelemetryParIndependent(t *testing.T) {
 	}
 }
 
+// TestRunMergedCountsFailures: a multi-failure sweep surfaces the total
+// failed-seed count in the error (with the first failure unwrappable)
+// and in the aggregate registry's counters, instead of silently hiding
+// every failure after the first.
+func TestRunMergedCountsFailures(t *testing.T) {
+	seeds := Seeds(1, 16)
+	sentinel := errors.New("boom")
+	reg := telemetry.NewRegistry()
+	_, err := RunMerged(seeds, 4, reg, func(seed int64, r *telemetry.Registry) (int, error) {
+		if seed%5 == 0 {
+			return 0, fmt.Errorf("seed %d: %w", seed, sentinel)
+		}
+		return int(seed), nil
+	})
+	if err == nil || !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the wrapped first failure", err)
+	}
+	want := "sweep: 3 of 16 seeds failed; first: seed 5: boom"
+	if err.Error() != want {
+		t.Errorf("err = %q, want %q", err, want)
+	}
+	counters := map[string]int64{}
+	for _, c := range reg.Snapshot().Counters {
+		counters[c.Name] = c.Value
+	}
+	if counters["sweep.seeds"] != 16 || counters["sweep.seed_failures"] != 3 {
+		t.Errorf("counters = %v, want sweep.seeds=16 sweep.seed_failures=3", counters)
+	}
+
+	// A single failure keeps the bare error (no redundant "1 of N" wrap).
+	_, err = RunMerged(seeds, 1, nil, func(seed int64, r *telemetry.Registry) (int, error) {
+		if seed == 7 {
+			return 0, fmt.Errorf("seed 7 failed")
+		}
+		return 0, nil
+	})
+	if err == nil || err.Error() != "seed 7 failed" {
+		t.Errorf("single-failure err = %v, want the bare seed-7 failure", err)
+	}
+}
+
 // TestRunMergedNilRegistry: a nil aggregate registry keeps the
 // uninstrumented path — callbacks receive nil.
 func TestRunMergedNilRegistry(t *testing.T) {

@@ -5,15 +5,16 @@ BENCH_OUT ?= BENCH_$(shell date +%F).json
 # benchmarks and fails on a >15% time regression against that snapshot.
 BENCH_BASELINE ?=
 
-.PHONY: all check build vet test determinism race bench bench-sim benchdiff benchgate telemetry-overhead fuzz fuzz-smoke churn-fuzz cover examples experiments clean
+.PHONY: all check build vet test determinism race bench bench-sim benchdiff benchgate telemetry-overhead trace-golden fuzz fuzz-smoke churn-fuzz cover examples experiments clean
 
 all: check
 
 # check is the pre-merge gate: build, vet, tests, the parallel-determinism
 # contract under the race detector, the full race suite, the bounded
-# differential fuzz smoke, the telemetry overhead gate, and (opt-in via
-# BENCH_BASELINE) the benchmark regression gate.
-check: build vet test determinism race fuzz-smoke churn-fuzz telemetry-overhead benchgate
+# differential fuzz smoke, the trace-format goldens, the telemetry
+# overhead gate, and (opt-in via BENCH_BASELINE) the benchmark
+# regression gate.
+check: build vet test determinism race fuzz-smoke churn-fuzz trace-golden telemetry-overhead benchgate
 
 build:
 	$(GO) build ./...
@@ -74,12 +75,27 @@ telemetry-overhead:
 	$(GO) run ./cmd/benchdiff -record /tmp/telemetry_on.json /tmp/telemetry_on.txt
 	$(GO) run ./cmd/benchdiff -threshold 0.05 /tmp/telemetry_off.json /tmp/telemetry_on.json
 
+# Verifies the taggertrace golden fixtures: the checked-in fig10 trace
+# captures (JSONL + binary) must render byte-identical reports, and the
+# `-o jsonl` downgrade of the binary capture must be byte-identical to
+# the JSONL capture. After an INTENTIONAL trace-format or report change,
+# regenerate with `make trace-golden UPDATE=1` and review the diff (the
+# binary header/entry layout is versioned — bump trace.Version when the
+# wire layout itself changes).
+trace-golden:
+ifeq ($(strip $(UPDATE)),)
+	$(GO) test -count=1 -run 'TestGolden' ./cmd/taggertrace/
+else
+	$(GO) test -count=1 -run 'TestGolden' ./cmd/taggertrace/ -update
+endif
+
 fuzz:
 	$(GO) test -fuzz FuzzDecodeRoCEv2 -fuzztime 30s ./internal/wire/
 	$(GO) test -fuzz FuzzDecodeIPv4 -fuzztime 30s ./internal/wire/
 	$(GO) test -fuzz FuzzDecodePFC -fuzztime 30s ./internal/wire/
 	$(GO) test -fuzz FuzzRunCase -fuzztime 60s ./internal/check/
 	$(GO) test -fuzz FuzzShrinkConvergence -fuzztime 30s ./internal/check/
+	$(GO) test -fuzz FuzzTraceDecode -fuzztime 30s ./internal/trace/
 
 # Bounded differential fuzzing for the pre-merge gate: a few seconds of
 # native coverage-guided fuzzing over the check battery plus a seeded

@@ -6,7 +6,11 @@ package tagger
 // the reproduction harness (see EXPERIMENTS.md for paper-vs-measured).
 
 import (
+	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
+	"time"
 
 	"repro/internal/cbd"
 	"repro/internal/core"
@@ -14,8 +18,10 @@ import (
 	"repro/internal/elp"
 	"repro/internal/paper"
 	"repro/internal/routing"
+	"repro/internal/sim"
 	"repro/internal/tcam"
 	"repro/internal/topology"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -433,6 +439,138 @@ func BenchmarkFullSynthSingleLinkFlap(b *testing.B) {
 		if _, err := core.Synthesize(g, set.Paths(), core.Options{}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Trace capture cost ------------------------------------------------------------------
+
+// traceCaptureEvents is the simulator's hot-path event mix: PFC
+// transitions with queue depths plus a drop, all names already seen.
+var traceCaptureEvents = []sim.TraceEvent{
+	{T: 1, Kind: "pause", Node: "T1", Peer: "L1", Prio: 1, Depth: 9216},
+	{T: 2, Kind: "resume", Node: "T1", Peer: "L1", Prio: 1, Depth: 512},
+	{T: 3, Kind: "drop", Node: "T1", Flow: "f1", Reason: "ttl"},
+}
+
+// BenchmarkTraceCapture compares the per-event capture cost of the two
+// trace encodings as taggersim wires them: straight to a file. JSONL
+// pays a synchronous encode + write per event on the simulator's
+// goroutine; binary pays a fixed-width marshal into the ring and lets
+// the background writer own the file. Binary must stay at 0 allocs/op
+// (TestBinaryTracerZeroAlloc and the benchgate's -alloc-threshold pin
+// it) and ≥10x cheaper per event (TestTraceCaptureSpeedup pins that).
+func BenchmarkTraceCapture(b *testing.B) {
+	b.Run("Binary", func(b *testing.B) {
+		f, err := os.Create(filepath.Join(b.TempDir(), "trace.bin"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer f.Close()
+		bt, err := sim.NewBinaryTracer(f, trace.Config{
+			RingSize: 1 << 18, FlushInterval: 200 * time.Microsecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, ev := range traceCaptureEvents { // warm the intern table
+			bt.Trace(ev)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			bt.Trace(traceCaptureEvents[i%len(traceCaptureEvents)])
+		}
+		b.StopTimer()
+		if err := bt.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if n := bt.Dropped(); n > 0 {
+			b.Fatalf("ring dropped %d events; the timing excludes real capture work", n)
+		}
+	})
+	b.Run("JSONL", func(b *testing.B) {
+		f, err := os.Create(filepath.Join(b.TempDir(), "trace.jsonl"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer f.Close()
+		tr := &sim.JSONLTracer{W: f}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr.Trace(traceCaptureEvents[i%len(traceCaptureEvents)])
+		}
+		b.StopTimer()
+		if tr.Err != nil || tr.Dropped != 0 {
+			b.Fatalf("err=%v dropped=%d", tr.Err, tr.Dropped)
+		}
+	})
+}
+
+// TestTraceCaptureSpeedup gates the tentpole claim in-suite: capturing
+// an event to a file in the binary format must cost at least 10x less
+// simulator time than the JSONL tracer (in practice far more — the
+// JSONL path is a synchronous encode + write syscall per event).
+// Best-of-three damps scheduler noise.
+func TestTraceCaptureSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing gate skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("timing gate skipped under the race detector: its atomics instrumentation taxes the ring far more than the JSONL encoder")
+	}
+	const n = 100_000
+	dir := t.TempDir()
+	best := func(f func(path string) time.Duration, name string) time.Duration {
+		min := time.Duration(1<<63 - 1)
+		for i := 0; i < 3; i++ {
+			if d := f(filepath.Join(dir, fmt.Sprintf("%s.%d", name, i))); d < min {
+				min = d
+			}
+		}
+		return min
+	}
+	binary := best(func(path string) time.Duration {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		bt, err := sim.NewBinaryTracer(f, trace.Config{RingSize: 1 << 18})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ev := range traceCaptureEvents {
+			bt.Trace(ev)
+		}
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			bt.Trace(traceCaptureEvents[i%len(traceCaptureEvents)])
+		}
+		elapsed := time.Since(start)
+		if err := bt.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if d := bt.Dropped(); d > 0 {
+			t.Fatalf("binary capture dropped %d events", d)
+		}
+		return elapsed
+	}, "bin")
+	jsonl := best(func(path string) time.Duration {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		tr := &sim.JSONLTracer{W: f}
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			tr.Trace(traceCaptureEvents[i%len(traceCaptureEvents)])
+		}
+		return time.Since(start)
+	}, "jsonl")
+	if binary*10 > jsonl {
+		t.Errorf("binary capture %v for %d events vs JSONL %v: less than the promised 10x", binary, n, jsonl)
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 
 	tagger "repro"
 	"repro/internal/metrics"
+	"repro/internal/sim"
 	"repro/internal/sweep"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/profile"
@@ -47,7 +48,8 @@ func main() {
 		par    = flag.Int("par", 1, "chaos: sweep worker count (0 = GOMAXPROCS); results are par-independent")
 		days   = flag.Int("days", 7, "table1: days to simulate")
 		perDay = flag.Int64("per-day", 1_000_000, "table1: measurements per day")
-		trace  = flag.String("trace", "", "write a JSONL event trace of figure experiments to this file")
+		trace    = flag.String("trace", "", "write an event trace to this file (figures: one file; chaos/churn: one file per seed)")
+		traceFmt = flag.String("trace-format", tagger.TraceJSONL, "trace encoding: jsonl or binary")
 		ops    = flag.String("ops", "", "serve /metrics, /healthz and /debug/pprof on this address; the process stays up after the run until interrupted (e.g. :8080)")
 	)
 	prof := profile.AddFlags(flag.CommandLine)
@@ -92,8 +94,8 @@ func main() {
 				log.Fatal(err)
 			}
 			defer f.Close()
-			fmt.Printf("=== %s WITHOUT Tagger (traced to %s) ===\n", *exp, *trace)
-			res, err := tagger.FigureTraced(*exp, false, f)
+			fmt.Printf("=== %s WITHOUT Tagger (traced to %s, %s) ===\n", *exp, *trace, *traceFmt)
+			res, err := tagger.FigureTracedFormat(*exp, false, f, *traceFmt)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -169,13 +171,39 @@ func main() {
 		fmt.Println("pause-wait cycles; Tagger rules deploy through the unreliable agents")
 		fmt.Println()
 		sd := sweep.Seeds(1, n)
-		with, err := tagger.ChaosSweep(sd, true, *par, opsReg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		without, err := tagger.ChaosSweep(sd, false, *par, opsReg)
-		if err != nil {
-			log.Fatal(err)
+		var with, without []tagger.ChaosSoakResult
+		if *trace != "" {
+			// Tracing runs the soaks serially, one capture per seed and
+			// arm: <file>.seed<N>.with / .without.
+			fmt.Printf("(tracing each soak to %s.seed<N>.<with|without>, %s)\n\n", *trace, *traceFmt)
+			soak := func(seed int64, withTagger bool, arm string) tagger.ChaosSoakResult {
+				tr, finish, err := openTrace(fmt.Sprintf("%s.seed%d.%s", *trace, seed, arm), *traceFmt)
+				if err != nil {
+					log.Fatal(err)
+				}
+				res, err := tagger.ChaosSoakTraced(seed, withTagger, opsReg, tr)
+				if ferr := finish(); err == nil {
+					err = ferr
+				}
+				if err != nil {
+					log.Fatal(err)
+				}
+				return res
+			}
+			for _, seed := range sd {
+				with = append(with, soak(seed, true, "with"))
+				without = append(without, soak(seed, false, "without"))
+			}
+		} else {
+			var err error
+			with, err = tagger.ChaosSweep(sd, true, *par, opsReg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			without, err = tagger.ChaosSweep(sd, false, *par, opsReg)
+			if err != nil {
+				log.Fatal(err)
+			}
 		}
 		for i, seed := range sd {
 			w, wo := with[i], without[i]
@@ -199,8 +227,27 @@ func main() {
 		fmt.Println("deploys per-switch rule deltas two-phase; midway a spine reboots and")
 		fmt.Println("the reconciliation sweep re-drives it to intent")
 		fmt.Println()
+		if *trace != "" {
+			fmt.Printf("(tracing a post-churn validation run per seed to %s.seed<N>, %s)\n", *trace, *traceFmt)
+		}
 		for seed := int64(1); seed <= int64(n); seed++ {
-			res, err := tagger.ChurnSoak(seed, 24)
+			var res tagger.ChurnSoakResult
+			var err error
+			if *trace != "" {
+				// The churn pipeline is controller-only; -trace appends a
+				// packet-level validation run of the converged fabric and
+				// captures its event stream.
+				tr, finish, terr := openTrace(fmt.Sprintf("%s.seed%d", *trace, seed), *traceFmt)
+				if terr != nil {
+					log.Fatal(terr)
+				}
+				res, err = tagger.ChurnSoakTraced(seed, 24, tr)
+				if ferr := finish(); err == nil {
+					err = ferr
+				}
+			} else {
+				res, err = tagger.ChurnSoak(seed, 24)
+			}
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -210,6 +257,9 @@ func main() {
 				res.Rebooted, res.ReconcileFixed, res.Converged, res.FinalRules)
 			if !res.Converged {
 				log.Fatalf("seed %d: fabric did not converge to intent", res.Seed)
+			}
+			if *trace != "" && res.ValidationDeadlocked {
+				log.Fatalf("seed %d: post-churn validation run deadlocked", res.Seed)
 			}
 		}
 	case "compression":
@@ -222,6 +272,28 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
+}
+
+// openTrace creates path and wires a tracer in the requested encoding;
+// the returned finish function flushes the capture, surfaces any event
+// loss and closes the file.
+func openTrace(path, format string) (sim.Tracer, func() error, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	tr, finish, err := tagger.NewTracer(f, format)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return tr, func() error {
+		err := finish()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	}, nil
 }
 
 func printExperiment(res tagger.ExperimentResult) {

@@ -1,229 +1,67 @@
-// Command taggertrace analyzes a JSONL event trace produced by
-// `taggersim -trace <file>` (or any sim.JSONLTracer): pause pressure per
-// link, drop causes, demotions, and time-to-deadlock.
+// Command taggertrace analyzes an event trace produced by `taggersim
+// -trace <file>` — the legacy JSONL format or the binary format
+// (`-trace-format binary`) — through a staged streaming pipeline:
+// ingest → normalize → metric computation → report. Batches are
+// bounded, so arbitrarily large captures analyze in constant memory.
 //
 // Usage:
 //
-//	taggersim -exp fig10 -trace /tmp/fig10.jsonl
-//	taggertrace /tmp/fig10.jsonl
+//	taggersim -exp fig10 -trace /tmp/fig10.trc -trace-format binary
+//	taggertrace /tmp/fig10.trc                # format auto-sniffed
+//	taggertrace -o jsonl /tmp/fig10.trc       # downgrade to JSONL
 //
-// Malformed or truncated lines (a crashed simulator leaves a partial last
-// line; log shippers sometimes interleave writes) are skipped and counted,
-// not fatal: the remaining events still tell the story.
+// Malformed or truncated input (a crashed simulator leaves a partial
+// tail; log shippers sometimes interleave writes) is skipped and
+// counted, not fatal: the remaining events still tell the story.
 package main
 
 import (
-	"bufio"
-	"bytes"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
-	"sort"
-	"time"
 
-	"repro/internal/metrics"
-	"repro/internal/sim"
-	"repro/internal/telemetry"
+	"repro/internal/trace/pipeline"
 )
 
-type linkKey struct{ node, peer string }
-
-// pauseKey identifies one open pause interval: PFC pauses per priority,
-// so the same link can hold several intervals at once.
-type pauseKey struct {
-	linkKey
-	prio int
-}
-
-// traceSummary is everything analyze extracts from one trace stream.
-type traceSummary struct {
-	Events  int // well-formed events
-	Skipped int // malformed/truncated lines
-	Pauses  map[linkKey]int
-	Resumes map[linkKey]int
-	// PauseDur histograms each link's pause-interval durations (seconds),
-	// paired pause→resume per priority; intervals never resumed (a
-	// deadlock, or a truncated trace) stay open and are not observed.
-	PauseDur      map[linkKey]*telemetry.Histogram
-	open          map[pauseKey]int64 // pause-onset T of open intervals
-	DropByReason  map[string]int
-	DropByFlow    map[string]int
-	Demotes       int
-	Deadlocks     int
-	FirstDeadlock int64 // simulated ns of first onset, -1 if none
-	FirstCycle    []string
-	LastT         int64
-}
-
-// analyze folds a JSONL trace stream into a summary. Each line is decoded
-// independently so one bad line costs one event, not the whole run.
-func analyze(r io.Reader) (*traceSummary, error) {
-	s := &traceSummary{
-		Pauses:        map[linkKey]int{},
-		Resumes:       map[linkKey]int{},
-		PauseDur:      map[linkKey]*telemetry.Histogram{},
-		open:          map[pauseKey]int64{},
-		DropByReason:  map[string]int{},
-		DropByFlow:    map[string]int{},
-		FirstDeadlock: -1,
+// run wires the pipeline for one invocation: ingest r in format,
+// normalize, then either fold metrics and render the report or re-emit
+// the stream as JSONL. It returns the combined count of entries lost to
+// damage (ingest skips + normalize drops).
+func run(r io.Reader, w io.Writer, format, output string, top int) (int64, error) {
+	src, err := pipeline.Open(r, format)
+	if err != nil {
+		return 0, err
 	}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	for sc.Scan() {
-		line := bytes.TrimSpace(sc.Bytes())
-		if len(line) == 0 {
-			continue
+	norm := &pipeline.Normalize{}
+	stages := []pipeline.Stage{norm}
+	switch output {
+	case "report":
+		sum := pipeline.NewSummary()
+		if err := pipeline.Run(src, stages, sum); err != nil {
+			return src.Skipped() + norm.Dropped, err
 		}
-		var ev sim.TraceEvent
-		if err := json.Unmarshal(line, &ev); err != nil {
-			s.Skipped++
-			continue
+		sum.Report(w, top, src.Skipped()+norm.Dropped)
+	case "jsonl":
+		if err := pipeline.Run(src, stages, pipeline.NewJSONLSink(w)); err != nil {
+			return src.Skipped() + norm.Dropped, err
 		}
-		s.Events++
-		if ev.T > s.LastT {
-			s.LastT = ev.T
-		}
-		switch ev.Kind {
-		case "pause":
-			lk := linkKey{ev.Node, ev.Peer}
-			s.Pauses[lk]++
-			s.open[pauseKey{lk, ev.Prio}] = ev.T
-		case "resume":
-			lk := linkKey{ev.Node, ev.Peer}
-			s.Resumes[lk]++
-			if start, ok := s.open[pauseKey{lk, ev.Prio}]; ok {
-				delete(s.open, pauseKey{lk, ev.Prio})
-				h := s.PauseDur[lk]
-				if h == nil {
-					h = telemetry.NewHistogram(telemetry.DurationBuckets())
-					s.PauseDur[lk] = h
-				}
-				h.ObserveDuration(ev.T - start)
-			}
-		case "drop":
-			s.DropByReason[ev.Reason]++
-			s.DropByFlow[ev.Flow]++
-		case "demote":
-			s.Demotes++
-		case "deadlock":
-			s.Deadlocks++
-			if s.FirstDeadlock < 0 {
-				s.FirstDeadlock = ev.T
-				s.FirstCycle = ev.Cycle
-			}
-		}
+	default:
+		return 0, fmt.Errorf("unknown output %q (want report or jsonl)", output)
 	}
-	return s, sc.Err()
-}
-
-func (s *traceSummary) report(w io.Writer, top int) {
-	fmt.Fprintf(w, "%d events over %v of simulated time", s.Events, time.Duration(s.LastT))
-	if s.Skipped > 0 {
-		fmt.Fprintf(w, " (%d malformed lines skipped)", s.Skipped)
-	}
-	fmt.Fprint(w, "\n\n")
-
-	if s.FirstDeadlock >= 0 {
-		fmt.Fprintf(w, "DEADLOCK onset at %v (%d onsets total); first cycle:\n",
-			time.Duration(s.FirstDeadlock), s.Deadlocks)
-		for _, e := range s.FirstCycle {
-			fmt.Fprintf(w, "  %s\n", e)
-		}
-		fmt.Fprintln(w)
-	} else {
-		fmt.Fprint(w, "no deadlock\n\n")
-	}
-
-	type row struct {
-		k       linkKey
-		p, r    int
-		pending int
-	}
-	var rows []row
-	for k, p := range s.Pauses {
-		rows = append(rows, row{k, p, s.Resumes[k], p - s.Resumes[k]})
-	}
-	sort.Slice(rows, func(i, j int) bool {
-		if rows[i].p != rows[j].p {
-			return rows[i].p > rows[j].p
-		}
-		if rows[i].k.node != rows[j].k.node {
-			return rows[i].k.node < rows[j].k.node
-		}
-		return rows[i].k.peer < rows[j].k.peer
-	})
-	if len(rows) > top {
-		rows = rows[:top]
-	}
-	t := metrics.NewTable("Pauser", "Paused peer", "Pauses", "Resumes", "Still paused")
-	for _, r := range rows {
-		t.AddRow(r.k.node, r.k.peer, r.p, r.r, r.pending)
-	}
-	fmt.Fprintf(w, "pause pressure (top %d links):\n%s\n", top, t.String())
-
-	if len(s.PauseDur) > 0 {
-		type durRow struct {
-			k    linkKey
-			snap telemetry.HistSnap
-		}
-		var durs []durRow
-		for k, h := range s.PauseDur {
-			durs = append(durs, durRow{k, h.Snapshot()})
-		}
-		sort.Slice(durs, func(i, j int) bool {
-			if durs[i].snap.Count != durs[j].snap.Count {
-				return durs[i].snap.Count > durs[j].snap.Count
-			}
-			if durs[i].k.node != durs[j].k.node {
-				return durs[i].k.node < durs[j].k.node
-			}
-			return durs[i].k.peer < durs[j].k.peer
-		})
-		if len(durs) > top {
-			durs = durs[:top]
-		}
-		dt := metrics.NewTable("Pauser", "Paused peer", "Intervals", "p50", "p95", "p99")
-		for _, r := range durs {
-			dt.AddRow(r.k.node, r.k.peer, r.snap.Count,
-				secDuration(r.snap.Quantile(0.50)),
-				secDuration(r.snap.Quantile(0.95)),
-				secDuration(r.snap.Quantile(0.99)))
-		}
-		fmt.Fprintf(w, "pause durations (top %d links by paired pause/resume intervals):\n%s\n", top, dt.String())
-	}
-
-	if len(s.DropByReason) > 0 {
-		dt := metrics.NewTable("Drop reason", "Count")
-		reasons := make([]string, 0, len(s.DropByReason))
-		for r := range s.DropByReason {
-			reasons = append(reasons, r)
-		}
-		sort.Strings(reasons)
-		for _, r := range reasons {
-			dt.AddRow(r, s.DropByReason[r])
-		}
-		fmt.Fprintf(w, "drops:\n%s", dt.String())
-	}
-	if s.Demotes > 0 {
-		fmt.Fprintf(w, "lossless-to-lossy demotions: %d\n", s.Demotes)
-	}
-}
-
-// secDuration rounds a duration given in seconds for table display.
-func secDuration(sec float64) time.Duration {
-	return time.Duration(sec * 1e9).Round(10 * time.Nanosecond)
+	return src.Skipped() + norm.Dropped, nil
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("taggertrace: ")
-	top := flag.Int("top", 10, "links to show in the pause-pressure table")
+	top := flag.Int("top", 10, "links to show in the per-link tables")
+	format := flag.String("format", pipeline.FormatAuto, "input format: auto, binary or jsonl")
+	output := flag.String("o", "report", "output: report (human summary) or jsonl (re-emit the event stream)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: taggertrace [-top N] <trace.jsonl>")
+		fmt.Fprintln(os.Stderr, "usage: taggertrace [-top N] [-format auto|binary|jsonl] [-o report|jsonl] <trace>")
 		os.Exit(2)
 	}
 	f, err := os.Open(flag.Arg(0))
@@ -232,12 +70,11 @@ func main() {
 	}
 	defer f.Close()
 
-	s, err := analyze(f)
+	skipped, err := run(f, os.Stdout, *format, *output, *top)
 	if err != nil {
 		log.Fatal(err)
 	}
-	s.report(os.Stdout, *top)
-	if s.Skipped > 0 {
-		log.Printf("warning: skipped %d malformed lines", s.Skipped)
+	if skipped > 0 {
+		log.Printf("warning: skipped %d malformed lines", skipped)
 	}
 }

@@ -1,135 +1,234 @@
 package main
 
 import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
+
+	tagger "repro"
+	"repro/internal/trace"
 )
 
-// TestAnalyzeSkipsMalformedLines pins the fix for the abort-on-bad-line
-// bug: the old decoder log.Fatal'd on the first malformed line, so a
-// truncated trace (crashed simulator, interleaved shipper writes) yielded
-// no analysis at all. Bad lines must be skipped and counted while every
-// well-formed event before AND after them is still folded in.
-func TestAnalyzeSkipsMalformedLines(t *testing.T) {
-	trace := strings.Join([]string{
-		`{"t":10,"kind":"pause","node":"T1","peer":"L1","prio":1}`,
-		`{"t":15,"kind":"drop","node":"T1","flow":"f1","reason":"ttl"}`,
-		`not json at all`,
-		`{"t":20,"kind":"resume","node":"T1","peer":"L1"`, // truncated
-		``, // blank lines are not events and not errors
-		`{"t":30,"kind":"resume","node":"T1","peer":"L1","prio":1}`,
-		`{"t":40,"kind":"deadlock","node":"L1","cycle":["L1->T1","T1->L1"]}`,
-		`{"t":45,"kind":"demote","node":"T1","flow":"f2"}`,
-		`{"t":50,"kind":"pau`, // truncated final line
-	}, "\n")
+// -update regenerates the golden fixtures under testdata/: the fig10
+// trace captured in both encodings plus the pinned report. Run it (via
+// `make trace-golden UPDATE=1`) only after an intentional trace-format
+// or report-layout change, and review the diff.
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
 
-	s, err := analyze(strings.NewReader(trace))
+const (
+	goldenJSONL  = "testdata/fig10.jsonl"
+	goldenBinary = "testdata/fig10.bin"
+	goldenReport = "testdata/report.golden"
+)
+
+// regenerate captures the deterministic fig10 (no Tagger) run in both
+// encodings and pins the report rendered from the JSONL capture.
+func regenerate(t *testing.T) {
+	t.Helper()
+	if err := os.MkdirAll("testdata", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range []struct {
+		path, format string
+	}{{goldenJSONL, tagger.TraceJSONL}, {goldenBinary, tagger.TraceBinary}} {
+		f, err := os.Create(g.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tagger.FigureTracedFormat("fig10", false, f, g.format); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	in, err := os.Open(goldenJSONL)
 	if err != nil {
-		t.Fatalf("analyze: %v", err)
+		t.Fatal(err)
 	}
-	if s.Skipped != 3 {
-		t.Errorf("Skipped = %d, want 3", s.Skipped)
+	defer in.Close()
+	var report bytes.Buffer
+	if _, err := run(in, &report, "auto", "report", 10); err != nil {
+		t.Fatal(err)
 	}
-	if s.Events != 5 {
-		t.Errorf("Events = %d, want 5", s.Events)
+	if err := os.WriteFile(goldenReport, report.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
 	}
-	k := linkKey{"T1", "L1"}
-	if s.Pauses[k] != 1 || s.Resumes[k] != 1 {
-		t.Errorf("pauses/resumes = %d/%d, want 1/1", s.Pauses[k], s.Resumes[k])
-	}
-	if s.DropByReason["ttl"] != 1 || s.Demotes != 1 || s.Deadlocks != 1 {
-		t.Errorf("drops/demotes/deadlocks = %d/%d/%d",
-			s.DropByReason["ttl"], s.Demotes, s.Deadlocks)
-	}
-	if s.FirstDeadlock != 40 || len(s.FirstCycle) != 2 {
-		t.Errorf("first deadlock = %d cycle %v", s.FirstDeadlock, s.FirstCycle)
-	}
-	if s.LastT != 45 {
-		t.Errorf("LastT = %d, want 45", s.LastT)
-	}
+	t.Logf("regenerated %s, %s, %s", goldenJSONL, goldenBinary, goldenReport)
+}
 
-	var b strings.Builder
-	s.report(&b, 10)
-	out := b.String()
-	if !strings.Contains(out, "3 malformed lines skipped") {
-		t.Errorf("report does not surface the skip count:\n%s", out)
+func runFile(t *testing.T, path, format, output string) (string, int64) {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if !strings.Contains(out, "DEADLOCK onset at 40ns") {
-		t.Errorf("report lost the deadlock:\n%s", out)
+	defer f.Close()
+	var out bytes.Buffer
+	skipped, err := run(f, &out, format, output, 10)
+	if err != nil {
+		t.Fatalf("run(%s, %s, %s): %v", path, format, output, err)
+	}
+	return out.String(), skipped
+}
+
+// TestGoldenReport pins the report output: the checked-in fig10
+// captures — one JSONL, one binary, same deterministic run — must both
+// render byte-identically to testdata/report.golden, whether the format
+// is sniffed or named. A diff here means the report layout or the trace
+// encoding changed; regenerate deliberately with -update.
+func TestGoldenReport(t *testing.T) {
+	if *update {
+		regenerate(t)
+	}
+	want, err := os.ReadFile(goldenReport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		name, path, format string
+	}{
+		{"jsonl-auto", goldenJSONL, "auto"},
+		{"jsonl-named", goldenJSONL, "jsonl"},
+		{"binary-auto", goldenBinary, "auto"},
+		{"binary-named", goldenBinary, "binary"},
+	} {
+		got, skipped := runFile(t, c.path, c.format, "report")
+		if skipped != 0 {
+			t.Errorf("%s: %d entries skipped in a clean capture", c.name, skipped)
+		}
+		if got != string(want) {
+			t.Errorf("%s: report diverges from %s\n--- got ---\n%s--- want ---\n%s",
+				c.name, goldenReport, got, want)
+		}
+	}
+	if !strings.Contains(string(want), "DEADLOCK onset") {
+		t.Errorf("golden fig10 (no Tagger) report lost its deadlock:\n%s", want)
 	}
 }
 
-func TestAnalyzeCleanTrace(t *testing.T) {
-	trace := `{"t":5,"kind":"pause","node":"A","peer":"B","prio":2}` + "\n"
-	s, err := analyze(strings.NewReader(trace))
+// TestGoldenJSONLExport pins the compatibility downgrade: `-o jsonl`
+// over the binary capture must re-emit the legacy format byte-for-byte
+// — exactly the file sim.JSONLTracer wrote for the same run.
+func TestGoldenJSONLExport(t *testing.T) {
+	if *update {
+		regenerate(t)
+	}
+	want, err := os.ReadFile(goldenJSONL)
 	if err != nil {
-		t.Fatalf("analyze: %v", err)
+		t.Fatal(err)
 	}
-	if s.Skipped != 0 || s.Events != 1 {
-		t.Errorf("skipped/events = %d/%d, want 0/1", s.Skipped, s.Events)
+	got, skipped := runFile(t, goldenBinary, "auto", "jsonl")
+	if skipped != 0 {
+		t.Errorf("%d entries skipped in a clean capture", skipped)
 	}
-	var b strings.Builder
-	s.report(&b, 10)
-	if strings.Contains(b.String(), "skipped") {
-		t.Errorf("clean trace must not mention skips:\n%s", b.String())
-	}
-	if !strings.Contains(b.String(), "no deadlock") {
-		t.Errorf("missing no-deadlock line:\n%s", b.String())
+	if got != string(want) {
+		t.Errorf("binary->jsonl export is not byte-identical to the JSONL capture\n--- got ---\n%s--- want ---\n%s", got, want)
 	}
 }
 
-// TestPauseDurationPercentiles: paired pause/resume intervals feed the
-// per-link duration histograms (per priority, so overlapping pauses on
-// different priorities pair correctly), unresumed pauses are excluded,
-// and the report renders a percentile table honoring -top.
-func TestPauseDurationPercentiles(t *testing.T) {
-	trace := strings.Join([]string{
-		// A->B: two 2µs intervals on prio 1, plus one never-resumed pause.
-		`{"t":1000,"kind":"pause","node":"A","peer":"B","prio":1}`,
-		`{"t":3000,"kind":"resume","node":"A","peer":"B","prio":1}`,
-		`{"t":10000,"kind":"pause","node":"A","peer":"B","prio":1}`,
-		`{"t":12000,"kind":"resume","node":"A","peer":"B","prio":1}`,
-		`{"t":20000,"kind":"pause","node":"A","peer":"B","prio":2}`,
-		// C->D: three 4µs intervals, overlapping across priorities.
-		`{"t":1000,"kind":"pause","node":"C","peer":"D","prio":1}`,
-		`{"t":2000,"kind":"pause","node":"C","peer":"D","prio":2}`,
-		`{"t":5000,"kind":"resume","node":"C","peer":"D","prio":1}`,
-		`{"t":6000,"kind":"resume","node":"C","peer":"D","prio":2}`,
-		`{"t":9000,"kind":"pause","node":"C","peer":"D","prio":1}`,
-		`{"t":13000,"kind":"resume","node":"C","peer":"D","prio":1}`,
-	}, "\n")
+// TestRunRejectsBadFlags: unknown formats and outputs fail up front.
+func TestRunRejectsBadFlags(t *testing.T) {
+	if _, err := run(strings.NewReader(""), io.Discard, "xml", "report", 10); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if _, err := run(strings.NewReader(""), io.Discard, "auto", "csv", 10); err == nil {
+		t.Error("unknown output accepted")
+	}
+}
 
-	s, err := analyze(strings.NewReader(trace))
+// TestRunSurfacesCorruption: the CLI path reports the combined
+// ingest+normalize loss for damaged input.
+func TestRunSurfacesCorruption(t *testing.T) {
+	in := strings.NewReader(strings.Join([]string{
+		`{"t":1,"kind":"pause","node":"A","peer":"B","prio":1}`,
+		`garbage`,
+		`{"t":2,"kind":"comet","node":"A"}`, // decodes, normalize drops it
+	}, "\n"))
+	var out bytes.Buffer
+	skipped, err := run(in, &out, "auto", "report", 10)
 	if err != nil {
-		t.Fatalf("analyze: %v", err)
+		t.Fatal(err)
 	}
-	ab, cd := linkKey{"A", "B"}, linkKey{"C", "D"}
-	if got := s.PauseDur[ab].Count(); got != 2 {
-		t.Errorf("A->B intervals = %d, want 2 (open pause must not count)", got)
+	if skipped != 2 {
+		t.Errorf("skipped = %d, want 2 (1 ingest + 1 normalize)", skipped)
 	}
-	if got := s.PauseDur[cd].Count(); got != 3 {
-		t.Errorf("C->D intervals = %d, want 3", got)
+	if !strings.Contains(out.String(), "2 malformed lines skipped") {
+		t.Errorf("report does not surface the loss:\n%s", out.String())
 	}
-	snap := s.PauseDur[cd].Snapshot()
-	if snap.Min != 4e-6 || snap.Max != 4e-6 {
-		t.Errorf("C->D min/max = %v/%v s, want 4µs exactly", snap.Min, snap.Max)
+}
+
+// TestMillionEventStreamBoundedMemory is the scale gate: a million-event
+// binary capture must stream through the full report pipeline with
+// retained memory proportional to the number of distinct links, not
+// events.
+func TestMillionEventStreamBoundedMemory(t *testing.T) {
+	const events = 1_000_000
+	path := filepath.Join(t.TempDir(), "big.trc")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RingSize covering the whole run keeps generation loss-free without
+	// pacing the emit loop against the writer's flush ticker.
+	w, err := trace.NewWriter(f, trace.Config{RingSize: 1 << 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := [4]uint32{w.Intern("T1"), w.Intern("T2"), w.Intern("L1"), w.Intern("L2")}
+	for i := 0; i < events; i++ {
+		k := trace.KindPause
+		if i%2 == 1 {
+			k = trace.KindResume
+		}
+		w.Emit(trace.Entry{
+			Tick: int64(i) * 100, Kind: k, Prio: 1,
+			A: nodes[i%4], B: nodes[(i+1)%4], Depth: int64(i % 9216),
+		})
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := w.Dropped(); n != 0 {
+		t.Fatalf("generation dropped %d events; the streaming claim needs all %d", n, events)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
 	}
 
-	var b strings.Builder
-	s.report(&b, 10)
-	out := b.String()
-	if !strings.Contains(out, "pause durations") || !strings.Contains(out, "p99") {
-		t.Fatalf("report missing the percentile table:\n%s", out)
+	in, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if !strings.Contains(out, "2µs") || !strings.Contains(out, "4µs") {
-		t.Errorf("percentile table missing expected durations:\n%s", out)
+	defer in.Close()
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	var out bytes.Buffer
+	skipped, err := run(in, &out, "binary", "report", 10)
+	if err != nil {
+		t.Fatal(err)
 	}
+	runtime.GC()
+	runtime.ReadMemStats(&after)
 
-	// -top 1 keeps only the busiest link (C->D, 3 intervals).
-	b.Reset()
-	s.report(&b, 1)
-	durSection := b.String()[strings.Index(b.String(), "pause durations"):]
-	if !strings.Contains(durSection, "C") || strings.Contains(durSection, "A     B") {
-		t.Errorf("-top 1 did not keep only the busiest link:\n%s", durSection)
+	if skipped != 0 {
+		t.Errorf("skipped = %d, want 0", skipped)
+	}
+	if !strings.Contains(out.String(), fmt.Sprintf("%d events", events)) {
+		t.Errorf("report did not fold all events:\n%s", out.String())
+	}
+	// The 32MB input must not be resident: allow a generous fixed budget
+	// for histograms, tables and test scaffolding.
+	const budget = 8 << 20
+	if growth := int64(after.HeapAlloc) - int64(before.HeapAlloc); growth > budget {
+		t.Errorf("heap grew %d bytes analyzing a %d-event trace; want < %d (bounded memory)",
+			growth, events, budget)
 	}
 }

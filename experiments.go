@@ -20,6 +20,7 @@ import (
 	"repro/internal/tcam"
 	"repro/internal/telemetry"
 	"repro/internal/topology"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -297,9 +298,48 @@ func Reconvergence(withTagger bool, flows int) ExperimentResult {
 	return runScenario(workload.Reconvergence(opt, flows))
 }
 
-// FigureTraced runs one of the figure experiments with a JSONL event
-// trace (pauses, resumes, demotions, drops, deadlock onsets) written to w.
-func FigureTraced(name string, withTagger bool, w io.Writer) (ExperimentResult, error) {
+// Trace encodings accepted by the traced experiment drivers.
+const (
+	TraceJSONL  = "jsonl"
+	TraceBinary = "binary"
+)
+
+// NewTracer builds an event tracer writing to w in the requested
+// encoding. The returned finish function flushes the capture and
+// reports any loss — a write error, or (binary) ring-buffer drops — as
+// an error; call it exactly once, after the simulation completes.
+func NewTracer(w io.Writer, format string) (sim.Tracer, func() error, error) {
+	switch format {
+	case "", TraceJSONL:
+		tr := &sim.JSONLTracer{W: w}
+		return tr, func() error {
+			if tr.Err != nil {
+				return fmt.Errorf("tagger: trace write: %w (%d events dropped)", tr.Err, tr.Dropped)
+			}
+			return nil
+		}, nil
+	case TraceBinary:
+		bt, err := sim.NewBinaryTracer(w, trace.Config{})
+		if err != nil {
+			return nil, nil, err
+		}
+		return bt, func() error {
+			if err := bt.Close(); err != nil {
+				return fmt.Errorf("tagger: trace write: %w", err)
+			}
+			if n := bt.Dropped(); n > 0 {
+				return fmt.Errorf("tagger: binary trace dropped %d events", n)
+			}
+			return nil
+		}, nil
+	}
+	return nil, nil, fmt.Errorf("tagger: unknown trace format %q (want %s or %s)", format, TraceJSONL, TraceBinary)
+}
+
+// FigureTracedFormat runs one of the figure experiments with an event
+// trace (pauses, resumes, demotions, drops, deadlock onsets) written to
+// w in the given encoding (TraceJSONL or TraceBinary).
+func FigureTracedFormat(name string, withTagger bool, w io.Writer, format string) (ExperimentResult, error) {
 	opt := workload.Options{}
 	if withTagger {
 		opt.Bounces = 1
@@ -315,13 +355,19 @@ func FigureTraced(name string, withTagger bool, w io.Writer) (ExperimentResult, 
 	default:
 		return ExperimentResult{}, fmt.Errorf("tagger: unknown figure %q", name)
 	}
-	tr := &sim.JSONLTracer{W: w}
+	tr, finish, err := NewTracer(w, format)
+	if err != nil {
+		return ExperimentResult{}, err
+	}
 	s.Net.SetTracer(tr)
 	res := runScenario(s)
-	if tr.Err != nil {
-		return res, fmt.Errorf("tagger: trace write: %w", tr.Err)
-	}
-	return res, nil
+	return res, finish()
+}
+
+// FigureTraced is FigureTracedFormat pinned to the legacy JSONL
+// encoding.
+func FigureTraced(name string, withTagger bool, w io.Writer) (ExperimentResult, error) {
+	return FigureTracedFormat(name, withTagger, w, TraceJSONL)
 }
 
 // Figure11 runs the routing-loop experiment.
@@ -650,12 +696,27 @@ func ChaosSoak(seed int64, withTagger bool) (ChaosSoakResult, error) {
 // bring-up. A nil reg keeps the soak telemetry-free (and bit-identical
 // to previous behavior, which the determinism test pins).
 func ChaosSoakWithTelemetry(seed int64, withTagger bool, reg *telemetry.Registry) (ChaosSoakResult, error) {
+	return chaosSoak(seed, withTagger, reg, nil)
+}
+
+// ChaosSoakTraced is ChaosSoakWithTelemetry with the packet
+// simulation's event stream captured by tr (build one with NewTracer);
+// the caller owns flushing the capture after the soak returns. Tracing
+// implies a serial, per-seed run — the sweep fan-out stays untraced.
+func ChaosSoakTraced(seed int64, withTagger bool, reg *telemetry.Registry, tr sim.Tracer) (ChaosSoakResult, error) {
+	return chaosSoak(seed, withTagger, reg, tr)
+}
+
+func chaosSoak(seed int64, withTagger bool, reg *telemetry.Registry, tr sim.Tracer) (ChaosSoakResult, error) {
 	defer reg.StartSpan("soak").End()
 	sched := chaos.Generate(ChaosSoakConfig(), seed)
 	s := workload.Chaos(workload.Options{}, sched)
 	res := ChaosSoakResult{Seed: seed, Faults: len(sched.Faults)}
 	if reg != nil {
 		s.Net.SetTelemetry(reg)
+	}
+	if tr != nil {
+		s.Net.SetTracer(tr)
 	}
 
 	if withTagger {
@@ -757,6 +818,10 @@ type ChurnSoakResult struct {
 	// controller's intent bundle after the full sequence.
 	Converged  bool
 	FinalRules int
+	// ValidationDeadlocked is set by ChurnSoakTraced: whether the
+	// post-churn validation run of the converged fabric deadlocked
+	// (it must not — the deployed rules exist to prevent exactly that).
+	ValidationDeadlocked bool
 }
 
 // RulesMoved totals the rule-level churn across every delta push.
@@ -789,6 +854,48 @@ func churnSwitchLinks(g *topology.Graph) [][2]string {
 // The sequence must end converged: fabric active state == intent bundle
 // on every switch.
 func ChurnSoak(seed int64, events int) (ChurnSoakResult, error) {
+	res, _, err := churnSoak(seed, events)
+	return res, err
+}
+
+// churnState is what a finished churn soak leaves behind for the traced
+// validation run: the (possibly expanded) topology, the fabric's agent
+// state and the controller holding the intent bundle.
+type churnState struct {
+	clos *topology.Clos
+	fab  *chaos.Fabric
+	ctl  *controller.Controller
+}
+
+// ChurnSoakTraced runs ChurnSoak and then validates the converged
+// fabric in the packet simulator under an event trace: the fabric's
+// ACTIVE bundle (not the controller's intent) is imported, routes are
+// recomputed over the post-churn topology, cross-pod flows run for a
+// few milliseconds and every pause/resume/demotion lands in tr. The
+// churn pipeline itself is controller-only; this is what makes
+// `taggersim -exp churn -trace` produce an analyzable capture.
+func ChurnSoakTraced(seed int64, events int, tr sim.Tracer) (ChurnSoakResult, error) {
+	res, st, err := churnSoak(seed, events)
+	if err != nil {
+		return res, err
+	}
+	g := st.clos.Graph
+	live := st.fab.ActiveBundle(st.ctl.Bundle().MaxTag)
+	rs, err := deploy.Import(g, live)
+	if err != nil {
+		return res, err
+	}
+	n := sim.New(g, routing.ComputeToHosts(g, routing.UpDown), sim.DefaultConfig())
+	n.InstallTagger(rs)
+	n.SetTracer(tr)
+	n.AddFlow(sim.FlowSpec{Name: "v1", Src: g.MustLookup("H5"), Dst: g.MustLookup("H1")})
+	n.AddFlow(sim.FlowSpec{Name: "v2", Src: g.MustLookup("H9"), Dst: g.MustLookup("H1")})
+	n.Run(5 * time.Millisecond)
+	res.ValidationDeadlocked = n.Deadlocked()
+	return res, nil
+}
+
+func churnSoak(seed int64, events int) (ChurnSoakResult, *churnState, error) {
 	res := ChurnSoakResult{Seed: seed}
 	c := paper.Testbed()
 	g := c.Graph
@@ -810,7 +917,7 @@ func ChurnSoak(seed int64, events int) (ChurnSoakResult, error) {
 			JitterSeed:  seed,
 		}))
 	if err != nil {
-		return res, err
+		return res, nil, err
 	}
 
 	seq := chaos.GenerateChurn(chaos.ChurnConfig{
@@ -837,16 +944,16 @@ func ChurnSoak(seed int64, events int) (ChurnSoakResult, error) {
 				A: g.MustLookup(ev.Switch)}
 		case chaos.ChurnPodAdd:
 			if err := c.Expand(1); err != nil {
-				return res, fmt.Errorf("tagger: churn event %d: %w", i, err)
+				return res, nil, fmt.Errorf("tagger: churn event %d: %w", i, err)
 			}
 			fab.Add(names()...)
 			res.PodsAdded++
 			cev = controller.Event{Kind: controller.EventExpansion}
 		default:
-			return res, fmt.Errorf("tagger: unknown churn kind %v", ev.Kind)
+			return res, nil, fmt.Errorf("tagger: unknown churn kind %v", ev.Kind)
 		}
 		if err := ctl.HandleChurn(cev); err != nil {
-			return res, fmt.Errorf("tagger: churn event %d (%s): %w", i, ev, err)
+			return res, nil, fmt.Errorf("tagger: churn event %d (%s): %w", i, ev, err)
 		}
 		log := ctl.DeltaLog()
 		res.Events = append(res.Events, ChurnEventResult{
@@ -861,7 +968,7 @@ func ChurnSoak(seed int64, events int) (ChurnSoakResult, error) {
 			fab.Reboot(res.Rebooted)
 			fixed, err := ctl.Reconcile()
 			if err != nil {
-				return res, fmt.Errorf("tagger: reconcile after reboot: %w", err)
+				return res, nil, fmt.Errorf("tagger: reconcile after reboot: %w", err)
 			}
 			res.ReconcileFixed = fixed
 		}
@@ -872,5 +979,5 @@ func ChurnSoak(seed int64, events int) (ChurnSoakResult, error) {
 	for _, sb := range intent.Switches {
 		res.FinalRules += len(sb.Rules)
 	}
-	return res, nil
+	return res, &churnState{clos: c, fab: fab, ctl: ctl}, nil
 }

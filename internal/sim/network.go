@@ -544,7 +544,8 @@ func (n *Network) sendPFC(rt *nodeRT, port, prio int, on bool) {
 			kind = "pause"
 		}
 		n.trace(TraceEvent{Kind: kind, Node: n.nodeName(rt.id),
-			Peer: n.nodeName(rt.ports[port].peer), Prio: prio})
+			Peer: n.nodeName(rt.ports[port].peer), Prio: prio,
+			Depth: rt.ports[port].inBytes[prio]})
 	}
 	// Deadlock onset detection, piggybacked on pause emission to stay off
 	// the fast path when neither tracing nor telemetry is attached.

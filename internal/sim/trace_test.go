@@ -3,6 +3,8 @@ package sim
 import (
 	"bytes"
 	"encoding/json"
+	"io"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -10,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/routing"
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 func TestCountingTracerSeesPFC(t *testing.T) {
@@ -92,13 +95,144 @@ func TestTracerDemoteAndDrops(t *testing.T) {
 	}
 }
 
+// TestJSONLTracerWriteError pins the silent-loss fix: after a write
+// error every subsequent event (and the one that hit the error) must be
+// counted into Dropped, not vanish.
 func TestJSONLTracerWriteError(t *testing.T) {
 	tr := &JSONLTracer{W: failingWriter{}}
 	tr.Trace(TraceEvent{Kind: "pause"})
 	if tr.Err == nil {
 		t.Fatal("write error not captured")
 	}
-	tr.Trace(TraceEvent{Kind: "pause"}) // must not panic after error
+	if tr.Dropped != 1 {
+		t.Fatalf("Dropped = %d after the failing event, want 1", tr.Dropped)
+	}
+	tr.Trace(TraceEvent{Kind: "pause"})
+	tr.Trace(TraceEvent{Kind: "drop"})
+	if tr.Dropped != 3 {
+		t.Fatalf("Dropped = %d after two more events, want 3", tr.Dropped)
+	}
+}
+
+// TestJSONLTracerCountsNothingOnSuccess: a healthy sink reports zero
+// loss.
+func TestJSONLTracerCountsNothingOnSuccess(t *testing.T) {
+	var buf bytes.Buffer
+	tr := &JSONLTracer{W: &buf}
+	tr.Trace(TraceEvent{Kind: "pause", Node: "A", Peer: "B"})
+	if tr.Err != nil || tr.Dropped != 0 {
+		t.Fatalf("err=%v dropped=%d", tr.Err, tr.Dropped)
+	}
+}
+
+// TestBinaryTracerMatchesJSONL: the same deterministic run captured by
+// both tracers must decode to the same event sequence — the format is
+// an encoding, not a different observer.
+func TestBinaryTracerMatchesJSONL(t *testing.T) {
+	runTraced := func(tr Tracer) {
+		c, tb, n := testbedNet(t, routing.UpDown)
+		g := c.Graph
+		forceFig3Routes(c, tb)
+		n.SetTracer(tr)
+		n.AddFlow(FlowSpec{Name: "green", Src: g.MustLookup("H9"), Dst: g.MustLookup("H1")})
+		n.AddFlow(FlowSpec{Name: "blue", Src: g.MustLookup("H2"), Dst: g.MustLookup("H13"),
+			Start: time.Millisecond})
+		n.Run(10 * time.Millisecond)
+	}
+
+	var jsonl bytes.Buffer
+	runTraced(&JSONLTracer{W: &jsonl})
+
+	var bin bytes.Buffer
+	bt, err := NewBinaryTracer(&bin, trace.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runTraced(bt)
+	if err := bt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if bt.Dropped() != 0 {
+		t.Fatalf("binary capture dropped %d events", bt.Dropped())
+	}
+
+	var fromJSONL []TraceEvent
+	dec := json.NewDecoder(&jsonl)
+	for dec.More() {
+		var ev TraceEvent
+		if err := dec.Decode(&ev); err != nil {
+			t.Fatal(err)
+		}
+		fromJSONL = append(fromJSONL, ev)
+	}
+
+	r, err := trace.NewReader(&bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fromBin []TraceEvent
+	for {
+		ev, err := r.Next()
+		if err != nil {
+			break
+		}
+		fromBin = append(fromBin, TraceEvent{
+			T: ev.T, Kind: ev.Kind, Node: ev.Node, Peer: ev.Peer,
+			Prio: ev.Prio, Depth: ev.Depth, Flow: ev.Flow,
+			Reason: ev.Reason, Cycle: ev.Cycle,
+		})
+	}
+	if r.Skipped() != 0 || r.Truncated() {
+		t.Fatalf("binary decode skipped=%d truncated=%v", r.Skipped(), r.Truncated())
+	}
+	if len(fromBin) != len(fromJSONL) {
+		t.Fatalf("binary decoded %d events, jsonl %d", len(fromBin), len(fromJSONL))
+	}
+	var sawDeadlock bool
+	for i := range fromJSONL {
+		want, got := fromJSONL[i], fromBin[i]
+		if want.Kind == "deadlock" {
+			sawDeadlock = true
+			if len(got.Cycle) != len(want.Cycle) {
+				t.Fatalf("event %d cycle %v != %v", i, got.Cycle, want.Cycle)
+			}
+			for j := range want.Cycle {
+				if got.Cycle[j] != want.Cycle[j] {
+					t.Fatalf("event %d cycle edge %d: %q != %q", i, j, got.Cycle[j], want.Cycle[j])
+				}
+			}
+			want.Cycle, got.Cycle = nil, nil
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("event %d:\n  binary %+v\n  jsonl  %+v", i, got, want)
+		}
+	}
+	if !sawDeadlock {
+		t.Fatal("scenario produced no deadlock onset; the comparison is vacuous")
+	}
+}
+
+// TestBinaryTracerZeroAlloc is the capture-cost gate, the tracing
+// sibling of TestSteadyStateZeroAlloc: once names are interned,
+// recording pause/resume/drop events allocates nothing.
+func TestBinaryTracerZeroAlloc(t *testing.T) {
+	bt, err := NewBinaryTracer(io.Discard, trace.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bt.Close()
+	pause := TraceEvent{T: 1, Kind: "pause", Node: "T1", Peer: "L1", Prio: 1, Depth: 9216}
+	resume := TraceEvent{T: 2, Kind: "resume", Node: "T1", Peer: "L1", Prio: 1, Depth: 512}
+	drop := TraceEvent{T: 3, Kind: "drop", Node: "T1", Flow: "f1", Reason: "ttl"}
+	bt.Trace(pause) // warm the intern table
+	bt.Trace(drop)
+	if avg := testing.AllocsPerRun(1000, func() {
+		bt.Trace(pause)
+		bt.Trace(resume)
+		bt.Trace(drop)
+	}); avg != 0 {
+		t.Errorf("binary capture allocates %.2f allocs per 3 events, want 0", avg)
+	}
 }
 
 type failingWriter struct{}

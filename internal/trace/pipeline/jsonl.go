@@ -1,0 +1,38 @@
+package pipeline
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+
+	"repro/internal/trace"
+)
+
+// JSONLSink is the compatibility export stage: it re-emits the event
+// stream in the legacy line-oriented format, byte-identical to what
+// sim.JSONLTracer would have written for the same events (trace.Event
+// mirrors its field order and tags). `taggertrace -o jsonl` uses it to
+// downgrade binary captures for tools that still speak JSONL.
+type JSONLSink struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewJSONLSink buffers writes to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	return &JSONLSink{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Consume implements Sink.
+func (s *JSONLSink) Consume(batch []trace.Event) error {
+	for i := range batch {
+		if err := s.enc.Encode(&batch[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close implements Sink.
+func (s *JSONLSink) Close() error { return s.bw.Flush() }

@@ -1,0 +1,33 @@
+package pipeline
+
+import "repro/internal/trace"
+
+// Normalize is the validation stage between ingest and metrics: it
+// drops events no downstream stage can attribute — unknown kinds (a
+// newer producer, or JSONL that decoded but isn't a trace event) and
+// events with no node — and counts them with the same "skip, never
+// abort" posture as ingest. It also clamps negative timestamps, which
+// a corrupted binary entry can produce, so duration math stays sane.
+type Normalize struct {
+	// Dropped counts events removed by validation.
+	Dropped int64
+}
+
+// Name implements Stage.
+func (n *Normalize) Name() string { return "normalize" }
+
+// Process implements Stage, filtering in place.
+func (n *Normalize) Process(batch []trace.Event) ([]trace.Event, error) {
+	out := batch[:0]
+	for _, ev := range batch {
+		if trace.KindOf(ev.Kind) == trace.KindInvalid || ev.Node == "" {
+			n.Dropped++
+			continue
+		}
+		if ev.T < 0 {
+			ev.T = 0
+		}
+		out = append(out, ev)
+	}
+	return out, nil
+}

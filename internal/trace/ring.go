@@ -1,0 +1,92 @@
+package trace
+
+import "sync/atomic"
+
+// ring is the single-producer / single-consumer slot buffer between the
+// simulator's event loop and the writer goroutine. Slots are raw
+// 32-byte cells: most hold one marshaled Entry, but a string definition
+// spills its bytes across the following slots, so the file stream is
+// simply the slots in ring order.
+//
+// The protocol is lock-free and wait-free on the producer side: head is
+// published with a release store after the slots are filled, tail with
+// a release store after they are consumed, so each side reads the
+// other's index with an acquire load and never touches a slot it does
+// not own. When the free space cannot hold a whole record the producer
+// drops the record and counts it — it never blocks and never tears a
+// multi-slot record.
+// The producer additionally keeps private shadows of both indices:
+// phead mirrors head (only the producer advances it), and ctail caches
+// the last-seen tail, so the per-record fast path touches no shared
+// cache line at all — one release store on publish is the only atomic.
+// ctail is refreshed from tail only when the cached view looks full.
+type ring struct {
+	slots []([EntrySize]byte)
+	mask  uint64
+
+	// Producer-private fields, padded away from the shared indices so
+	// the consumer's tail stores never invalidate the producer's line.
+	phead uint64
+	ctail uint64
+	_     [48]byte
+
+	head atomic.Uint64 // next slot the producer will fill
+	tail atomic.Uint64 // next slot the consumer will drain
+
+	dropped atomic.Int64 // whole records lost to a full ring
+}
+
+// newRing rounds capacity up to a power of two (minimum 64 slots).
+func newRing(capacity int) *ring {
+	n := 64
+	for n < capacity {
+		n <<= 1
+	}
+	return &ring{slots: make([][EntrySize]byte, n), mask: uint64(n - 1)}
+}
+
+// reserve returns the first of k contiguous-in-order slot indices, or
+// false when the ring cannot hold k more slots. Producer-only.
+func (r *ring) reserve(k int) (uint64, bool) {
+	h := r.phead
+	if h+uint64(k)-r.ctail > uint64(len(r.slots)) {
+		r.ctail = r.tail.Load()
+		if h+uint64(k)-r.ctail > uint64(len(r.slots)) {
+			return 0, false
+		}
+	}
+	return h, true
+}
+
+// slot returns the cell for index i (indices wrap implicitly).
+func (r *ring) slot(i uint64) *[EntrySize]byte { return &r.slots[i&r.mask] }
+
+// publish makes slots [head, head+k) visible to the consumer.
+// Producer-only; callers must have filled exactly those slots.
+func (r *ring) publish(k int) {
+	r.phead += uint64(k)
+	r.head.Store(r.phead)
+}
+
+// drop counts one whole record lost to backpressure.
+func (r *ring) drop() { r.dropped.Add(1) }
+
+// drain appends up to max pending slots to buf and marks them consumed,
+// returning the extended buffer. Consumer-only.
+func (r *ring) drain(buf []byte, max int) []byte {
+	t := r.tail.Load()
+	h := r.head.Load()
+	n := int(h - t)
+	if n == 0 {
+		return buf
+	}
+	if n > max {
+		n = max
+	}
+	for i := 0; i < n; i++ {
+		s := r.slot(t + uint64(i))
+		buf = append(buf, s[:]...)
+	}
+	r.tail.Store(t + uint64(n))
+	return buf
+}

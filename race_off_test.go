@@ -1,0 +1,5 @@
+//go:build !race
+
+package tagger
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package tagger
+
+// raceEnabled reports whether this test binary was built with the race
+// detector; timing gates skip themselves under its instrumentation.
+const raceEnabled = true

@@ -5,16 +5,16 @@ BENCH_OUT ?= BENCH_$(shell date +%F).json
 # benchmarks and fails on a >15% time regression against that snapshot.
 BENCH_BASELINE ?=
 
-.PHONY: all check build vet test determinism race bench bench-sim benchdiff benchgate telemetry-overhead trace-golden fuzz fuzz-smoke churn-fuzz cover examples experiments clean
+.PHONY: all check build vet test determinism race detect-smoke bench bench-sim benchdiff benchgate telemetry-overhead trace-golden fuzz fuzz-smoke churn-fuzz cover examples experiments clean
 
 all: check
 
 # check is the pre-merge gate: build, vet, tests, the parallel-determinism
-# contract under the race detector, the full race suite, the bounded
-# differential fuzz smoke, the trace-format goldens, the telemetry
-# overhead gate, and (opt-in via BENCH_BASELINE) the benchmark
-# regression gate.
-check: build vet test determinism race fuzz-smoke churn-fuzz trace-golden telemetry-overhead benchgate
+# contract under the race detector, the full race suite, the
+# detect-vs-prevent matrix smoke, the bounded differential fuzz smoke,
+# the trace-format goldens, the telemetry overhead gate, and (opt-in via
+# BENCH_BASELINE) the benchmark regression gate.
+check: build vet test determinism race detect-smoke fuzz-smoke churn-fuzz trace-golden telemetry-overhead benchgate
 
 build:
 	$(GO) build ./...
@@ -30,10 +30,17 @@ test:
 # the sweep runner's verdicts and merged telemetry must be independent of
 # the worker count.
 determinism:
-	$(GO) test -race -run 'TestParallelDeterminism|TestChaosSweepParDeterminism' .
+	$(GO) test -race -run 'TestParallelDeterminism|TestChaosSweepParDeterminism|TestDetectMatrixParDeterminism' .
 
 race:
 	$(GO) test -race ./...
+
+# The detect-vs-prevent matrix smoke under the race detector: the
+# four-arm invariants (tagger prevents + detector stays quiet, detect
+# and scan arms recover within bound, the control starves) on a small
+# seed set. Part of `make check`.
+detect-smoke:
+	$(GO) test -race -count=1 -run 'TestDetectMatrixSmoke' .
 
 # Runs every benchmark and records the results as a JSON snapshot
 # (BENCH_<date>.json) for the repo's performance trajectory. Override
@@ -138,6 +145,7 @@ experiments:
 	$(GO) run ./cmd/taggersim -exp multiclass
 	$(GO) run ./cmd/taggersim -exp chaos
 	$(GO) run ./cmd/taggersim -exp churn
+	$(GO) run ./cmd/taggersim -exp detect -runs 20
 	$(GO) run ./cmd/taggerscale
 	$(GO) run ./cmd/taggerscale -bcube
 

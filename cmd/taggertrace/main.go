@@ -10,9 +10,12 @@
 //	taggertrace /tmp/fig10.trc                # format auto-sniffed
 //	taggertrace -o jsonl /tmp/fig10.trc       # downgrade to JSONL
 //
-// Malformed or truncated input (a crashed simulator leaves a partial
-// tail; log shippers sometimes interleave writes) is skipped and
-// counted, not fatal: the remaining events still tell the story.
+// Malformed input (log shippers sometimes interleave writes) is skipped
+// and counted, not fatal: the remaining events still tell the story.
+// A binary trace that ends mid-record (a crashed simulator leaves a
+// partial tail) is analyzed the same way but exits nonzero, because a
+// torn capture's totals undercount the run; pass -allow-truncated to
+// accept it, as when salvaging whatever a crash left behind.
 package main
 
 import (
@@ -27,30 +30,39 @@ import (
 
 // run wires the pipeline for one invocation: ingest r in format,
 // normalize, then either fold metrics and render the report or re-emit
-// the stream as JSONL. It returns the combined count of entries lost to
-// damage (ingest skips + normalize drops).
-func run(r io.Reader, w io.Writer, format, output string, top int) (int64, error) {
+// the stream as JSONL. The returned Diag carries what was lost to
+// damage: ingest skips + normalize drops, the subset with unknown
+// kinds, and whether a binary stream ended mid-record.
+func run(r io.Reader, w io.Writer, format, output string, top int) (pipeline.Diag, error) {
 	src, err := pipeline.Open(r, format)
 	if err != nil {
-		return 0, err
+		return pipeline.Diag{}, err
 	}
 	norm := &pipeline.Normalize{}
 	stages := []pipeline.Stage{norm}
+	diag := func() pipeline.Diag {
+		d := pipeline.Diag{Skipped: src.Skipped() + norm.Dropped}
+		if bs, ok := src.(*pipeline.BinarySource); ok {
+			d.Alien = bs.Alien()
+			d.Truncated = bs.Truncated()
+		}
+		return d
+	}
 	switch output {
 	case "report":
 		sum := pipeline.NewSummary()
 		if err := pipeline.Run(src, stages, sum); err != nil {
-			return src.Skipped() + norm.Dropped, err
+			return diag(), err
 		}
-		sum.Report(w, top, src.Skipped()+norm.Dropped)
+		sum.ReportDiag(w, top, diag())
 	case "jsonl":
 		if err := pipeline.Run(src, stages, pipeline.NewJSONLSink(w)); err != nil {
-			return src.Skipped() + norm.Dropped, err
+			return diag(), err
 		}
 	default:
-		return 0, fmt.Errorf("unknown output %q (want report or jsonl)", output)
+		return pipeline.Diag{}, fmt.Errorf("unknown output %q (want report or jsonl)", output)
 	}
-	return src.Skipped() + norm.Dropped, nil
+	return diag(), nil
 }
 
 func main() {
@@ -59,9 +71,10 @@ func main() {
 	top := flag.Int("top", 10, "links to show in the per-link tables")
 	format := flag.String("format", pipeline.FormatAuto, "input format: auto, binary or jsonl")
 	output := flag.String("o", "report", "output: report (human summary) or jsonl (re-emit the event stream)")
+	allowTrunc := flag.Bool("allow-truncated", false, "exit zero even if the binary trace ends mid-record")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: taggertrace [-top N] [-format auto|binary|jsonl] [-o report|jsonl] <trace>")
+		fmt.Fprintln(os.Stderr, "usage: taggertrace [-top N] [-format auto|binary|jsonl] [-o report|jsonl] [-allow-truncated] <trace>")
 		os.Exit(2)
 	}
 	f, err := os.Open(flag.Arg(0))
@@ -70,11 +83,17 @@ func main() {
 	}
 	defer f.Close()
 
-	skipped, err := run(f, os.Stdout, *format, *output, *top)
+	diag, err := run(f, os.Stdout, *format, *output, *top)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if skipped > 0 {
-		log.Printf("warning: skipped %d malformed lines", skipped)
+	if diag.Skipped > 0 {
+		log.Printf("warning: skipped %d malformed lines (%d with unknown kinds)", diag.Skipped, diag.Alien)
+	}
+	if diag.Truncated {
+		log.Printf("warning: trace truncated mid-record")
+		if !*allowTrunc {
+			os.Exit(1)
+		}
 	}
 }

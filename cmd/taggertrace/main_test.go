@@ -71,11 +71,11 @@ func runFile(t *testing.T, path, format, output string) (string, int64) {
 	}
 	defer f.Close()
 	var out bytes.Buffer
-	skipped, err := run(f, &out, format, output, 10)
+	diag, err := run(f, &out, format, output, 10)
 	if err != nil {
 		t.Fatalf("run(%s, %s, %s): %v", path, format, output, err)
 	}
-	return out.String(), skipped
+	return out.String(), diag.Skipped
 }
 
 // TestGoldenReport pins the report output: the checked-in fig10
@@ -152,15 +152,81 @@ func TestRunSurfacesCorruption(t *testing.T) {
 		`{"t":2,"kind":"comet","node":"A"}`, // decodes, normalize drops it
 	}, "\n"))
 	var out bytes.Buffer
-	skipped, err := run(in, &out, "auto", "report", 10)
+	diag, err := run(in, &out, "auto", "report", 10)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if skipped != 2 {
-		t.Errorf("skipped = %d, want 2 (1 ingest + 1 normalize)", skipped)
+	if diag.Skipped != 2 {
+		t.Errorf("skipped = %d, want 2 (1 ingest + 1 normalize)", diag.Skipped)
 	}
 	if !strings.Contains(out.String(), "2 malformed lines skipped") {
 		t.Errorf("report does not surface the loss:\n%s", out.String())
+	}
+}
+
+// TestRunSurfacesTruncation: a binary capture cut mid-record must be
+// analyzed to the torn point, flagged in Diag (so main can exit
+// nonzero without -allow-truncated), and called out in the report
+// footer.
+func TestRunSurfacesTruncation(t *testing.T) {
+	if _, err := os.Stat(goldenBinary); err != nil {
+		t.Skipf("golden binary missing (run with -update): %v", err)
+	}
+	whole, err := os.ReadFile(goldenBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut inside an entry: 7 bytes past an entry boundary near the end.
+	cut := len(whole) - (len(whole)-trace.HeaderSize)%trace.EntrySize - trace.EntrySize + 7
+	var out bytes.Buffer
+	diag, err := run(bytes.NewReader(whole[:cut]), &out, "binary", "report", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diag.Truncated {
+		t.Error("Diag.Truncated = false for a torn capture")
+	}
+	if diag.Skipped == 0 {
+		t.Error("torn tail not counted as skipped")
+	}
+	if !strings.Contains(out.String(), "WARNING: trace ended mid-record") {
+		t.Errorf("report footer missing the truncation warning:\n%s", out.String())
+	}
+	// The intact prefix must still be analyzed.
+	if !strings.Contains(out.String(), "events over") {
+		t.Errorf("torn capture produced no analysis:\n%s", out.String())
+	}
+}
+
+// TestRunSurfacesAlienKinds: entries with a kind this reader does not
+// speak (a newer producer) are skipped, tallied separately from
+// damage, and noted in the report footer.
+func TestRunSurfacesAlienKinds(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf, trace.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := w.Intern("T1"), w.Intern("L1")
+	w.Emit(trace.Entry{Tick: 100, Kind: trace.KindPause, Prio: 1, A: a, B: b})
+	w.Emit(trace.Entry{Tick: 200, Kind: trace.Kind(200), A: a}) // from the future
+	w.Emit(trace.Entry{Tick: 300, Kind: trace.KindResume, Prio: 1, A: a, B: b})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	diag, err := run(bytes.NewReader(buf.Bytes()), &out, "binary", "report", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diag.Alien != 1 || diag.Skipped != 1 {
+		t.Errorf("diag = %+v, want Alien=1 Skipped=1", diag)
+	}
+	if diag.Truncated {
+		t.Error("clean stream flagged truncated")
+	}
+	if !strings.Contains(out.String(), "kinds this reader does not speak") {
+		t.Errorf("report footer missing the alien-kind note:\n%s", out.String())
 	}
 }
 
@@ -211,15 +277,15 @@ func TestMillionEventStreamBoundedMemory(t *testing.T) {
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	var out bytes.Buffer
-	skipped, err := run(in, &out, "binary", "report", 10)
+	diag, err := run(in, &out, "binary", "report", 10)
 	if err != nil {
 		t.Fatal(err)
 	}
 	runtime.GC()
 	runtime.ReadMemStats(&after)
 
-	if skipped != 0 {
-		t.Errorf("skipped = %d, want 0", skipped)
+	if diag.Skipped != 0 {
+		t.Errorf("skipped = %d, want 0", diag.Skipped)
 	}
 	if !strings.Contains(out.String(), fmt.Sprintf("%d events", events)) {
 		t.Errorf("report did not fold all events:\n%s", out.String())

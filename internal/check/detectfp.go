@@ -1,0 +1,70 @@
+package check
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// DetectorQuietReport is the verdict of one false-positive oracle run:
+// the in-switch detector rode along on a Tagger-protected scenario with
+// mitigation off, and an independent global-view watchdog confirmed no
+// pause-wait cycle ever existed for it to find.
+type DetectorQuietReport struct {
+	Seed int64
+	// WatchdogSamples counts independent cycle checks; DeadlockSamples
+	// must be zero for the oracle's premise to hold.
+	WatchdogSamples int
+	DeadlockSamples int
+	// Detections is what the oracle is about: with no cycle ever live,
+	// every firing is a false positive by definition.
+	Detections     int
+	FalsePositives int
+}
+
+// VerifyDetectorQuiet is the detector's false-positive oracle: for each
+// seed it builds the detect-matrix scenario (CBD-capable pinned paths,
+// background traffic, off-path reboots) with Tagger's 1-bounce rules
+// installed, arms the in-switch detector in observe-only mode, and runs
+// a 500us global-view watchdog beside it. Tagger guarantees the
+// pause-wait graph stays acyclic (Theorem 5.1), the watchdog
+// independently confirms it on this run, and therefore any detector
+// firing is a false positive — the oracle fails on the first one.
+//
+// The two detection mechanisms share nothing: the watchdog walks the
+// live queue-wait graph globally, the in-switch detector circulates
+// tags hop by hop. Agreement ("nothing to find" / "found nothing") is
+// the evidence; a detection with zero deadlock samples indicts the tag
+// machinery, and a deadlock sample indicts the premise (Tagger rules
+// failed), reported distinctly.
+func VerifyDetectorQuiet(seeds []int64) ([]DetectorQuietReport, error) {
+	out := make([]DetectorQuietReport, 0, len(seeds))
+	for _, seed := range seeds {
+		s := workload.DetectMatrix(workload.Options{Bounces: 1}, seed)
+		det := s.Net.EnableDetector(sim.DetectorConfig{Mitigation: sim.MitigateNone})
+		wd := s.Net.StartWatchdog(500 * time.Microsecond)
+		s.Run()
+		r := DetectorQuietReport{
+			Seed:            seed,
+			WatchdogSamples: wd.Samples,
+			DeadlockSamples: wd.DeadlockSamples,
+			Detections:      det.Detections,
+			FalsePositives:  det.FalsePositives,
+		}
+		out = append(out, r)
+		if r.WatchdogSamples == 0 {
+			return out, fmt.Errorf("check: seed %d: watchdog never sampled; the oracle has no independent witness", seed)
+		}
+		if r.DeadlockSamples != 0 {
+			return out, fmt.Errorf("check: seed %d: %d deadlock samples under Tagger rules — the oracle's premise failed, not the detector",
+				seed, r.DeadlockSamples)
+		}
+		if r.Detections != 0 {
+			return out, fmt.Errorf("check: seed %d: detector fired %d times on a run the watchdog confirms was deadlock-free — false positives",
+				seed, r.Detections)
+		}
+	}
+	return out, nil
+}

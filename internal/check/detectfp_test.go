@@ -1,0 +1,50 @@
+package check
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TestDetectorQuietOnTaggerTopology is the false-positive oracle gate:
+// across a handful of seeds of the matrix scenario under Tagger rules,
+// the independent watchdog must confirm no cycle ever formed and the
+// in-switch detector must never have fired.
+func TestDetectorQuietOnTaggerTopology(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4, 5}
+	reports, err := VerifyDetectorQuiet(seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != len(seeds) {
+		t.Fatalf("got %d reports, want %d", len(reports), len(seeds))
+	}
+	for _, r := range reports {
+		if r.WatchdogSamples == 0 {
+			t.Errorf("seed %d: no independent witness", r.Seed)
+		}
+		if r.Detections != 0 || r.FalsePositives != 0 {
+			t.Errorf("seed %d: detections=%d fp=%d, want 0/0", r.Seed, r.Detections, r.FalsePositives)
+		}
+	}
+}
+
+// TestDetectorQuietOracleNotVacuous proves the oracle can actually
+// fail: the same scenario without Tagger rules deadlocks, and the
+// oracle must reject it as a premise failure (the watchdog saw a
+// cycle) — distinctly from a detector false positive. An oracle that
+// passes everything proves nothing.
+func TestDetectorQuietOracleNotVacuous(t *testing.T) {
+	s := workload.DetectMatrix(workload.Options{}, 1)
+	det := s.Net.EnableDetector(sim.DetectorConfig{Mitigation: sim.MitigateNone})
+	wd := s.Net.StartWatchdog(500 * time.Microsecond)
+	s.Run()
+	if wd.DeadlockSamples == 0 {
+		t.Fatal("unprotected scenario did not deadlock; the oracle's negative control drifted")
+	}
+	if det.Detections == 0 {
+		t.Fatal("detector missed a genuine, watchdog-confirmed deadlock")
+	}
+}

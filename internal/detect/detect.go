@@ -1,0 +1,371 @@
+// Package detect implements an in-switch, data-plane PFC deadlock
+// detection scheme in the style of DCFIT (PAPERS.md, Wu & Ng): the
+// switch that first triggers a PFC PAUSE stamps a detection tag, the
+// tag travels with the congestion — carried in packet metadata and on
+// the pause frames that chain backward through the wait-for graph —
+// and a deadlock is declared the moment a switch sees a tag it created
+// come back while the pause episode that created it is still open.
+// Detection is purely local: no global snapshot, no controller in the
+// loop, just a few words of per-(port, priority) state on each switch.
+//
+// # Tag transport
+//
+// A cyclic buffer dependency (CBD) closes through two media, and the
+// engine uses both:
+//
+//   - Pause frames. When an ingress (port, priority) asserts PAUSE, it
+//     either inherits the tag of a paused egress queue currently holding
+//     packets charged to that ingress (the wait-for edge the pause just
+//     extended) or, when no such queue exists, originates a fresh tag —
+//     this switch is the initial trigger of the chain. The tag rides the
+//     pause frame to the upstream switch. Real PFC refreshes PAUSE
+//     periodically (802.1Qbb pause quanta expire); the simulator models
+//     that refresh for the detector's benefit, so a chain whose edges
+//     asserted out of causal order still converges on one tag.
+//
+//   - Packets. A packet departing through a still-paused ingress carries
+//     that ingress's tag downstream; while any hop's charged ingress is
+//     paused the tag keeps walking, and a hop whose ingress is unpaused
+//     clears it (the congestion chain is broken there). DCFIT's original
+//     formulation uses exactly this piggybacking.
+//
+// # Detection rule
+//
+// Tags encode (creator node, ingress port, priority, epoch). The epoch
+// increments whenever the ingress resumes, so a tag is "live" only while
+// the pause episode that minted it persists. A switch receiving a tag —
+// by either medium — checks: did I create this, and is the named ingress
+// still paused in the same epoch? If so, the wait chain it started has
+// closed on itself: deadlock. The check is epoch-exact, so stale tags
+// from resolved episodes can never fire, and each detection bumps the
+// epoch so one cycle is reported once per round trip, not once per
+// packet.
+//
+// The engine is simulator-agnostic: it speaks dense (node, port,
+// priority) indexes and is driven entirely by the hooks below. The
+// internal/sim wiring lives in sim/detector.go.
+package detect
+
+import "fmt"
+
+// Tag is a detection tag: a packed (node, port, prio, epoch) identity
+// of the pause episode that minted it. The zero Tag means "no tag".
+//
+// Layout: bit 63 marks validity (so node 0, port 0 still yields a
+// nonzero tag), bits 32..55 the epoch, 16..31 the node, 4..15 the port,
+// 0..3 the priority.
+type Tag uint64
+
+const tagValid Tag = 1 << 63
+
+// MakeTag packs a tag. Arguments must fit their fields (node < 2^16,
+// port < 2^12, prio < 2^4); the simulator's fabrics are far below that.
+func MakeTag(node, port, prio int, epoch uint32) Tag {
+	return tagValid |
+		Tag(epoch&0xffffff)<<32 |
+		Tag(node&0xffff)<<16 |
+		Tag(port&0xfff)<<4 |
+		Tag(prio&0xf)
+}
+
+// Node returns the creator node index.
+func (t Tag) Node() int { return int(t >> 16 & 0xffff) }
+
+// Port returns the creator's ingress port.
+func (t Tag) Port() int { return int(t >> 4 & 0xfff) }
+
+// Prio returns the creator's ingress priority.
+func (t Tag) Prio() int { return int(t & 0xf) }
+
+// Epoch returns the pause-episode epoch the tag was minted in.
+func (t Tag) Epoch() uint32 { return uint32(t >> 32 & 0xffffff) }
+
+// String renders a tag for diagnostics.
+func (t Tag) String() string {
+	if t == 0 {
+		return "tag(none)"
+	}
+	return fmt.Sprintf("tag(n%d p%d q%d e%d)", t.Node(), t.Port(), t.Prio(), t.Epoch())
+}
+
+// Transport media a returning tag can arrive by.
+const (
+	// ViaPacket: the tag came back piggybacked on a data packet.
+	ViaPacket = "packet"
+	// ViaPause: the tag came back on a PFC pause frame (or its refresh).
+	ViaPause = "pause"
+)
+
+// Detection reports one confirmed own-tag return.
+type Detection struct {
+	// Node is the detecting switch — the tag's creator.
+	Node int
+	// Port and Prio name the origin ingress whose pause episode closed
+	// into a cycle; mitigation targets the packets charged to it.
+	Port int
+	Prio int
+	// Tag is the returned tag.
+	Tag Tag
+	// Via is ViaPacket or ViaPause.
+	Via string
+}
+
+// Stats tallies the engine's activity.
+type Stats struct {
+	// Origins counts fresh tags minted (pause asserts with no upstream
+	// wait edge to inherit from).
+	Origins int64
+	// Inherited counts pause asserts that extended an existing chain.
+	Inherited int64
+	// Adopted counts foreign tags picked up from arriving packets.
+	Adopted int64
+	// Refreshes counts per-ingress pause-refresh re-evaluations.
+	Refreshes int64
+	// Detections counts own-tag returns, split by medium.
+	Detections int64
+	ViaPacketN int64
+	ViaPauseN  int64
+}
+
+// inState is the per-(ingress port, priority) detector state: the tag
+// our asserted pause carries, whether we minted it, a foreign tag
+// adopted from passing packets, and the pause-episode epoch.
+type inState struct {
+	paused bool
+	origin bool
+	tag    Tag
+	carry  Tag
+	epoch  uint32
+}
+
+// nodeState is one switch's detector state.
+type nodeState struct {
+	nPorts int
+	// in is the ingress state, indexed port*nPrio+prio.
+	in []inState
+	// eg records, per egress (port*nPrio+prio), the tag carried by the
+	// downstream pause currently asserted against it (0 = not paused).
+	eg []Tag
+	// hold counts queued packets by (ingress port, ingress prio, egress
+	// port, egress prio) — the wait-for edges available for tag
+	// inheritance — indexed (in*nPrio+ip)*nPorts*nPrio + out*nPrio+op.
+	hold []int32
+}
+
+// Engine is the fabric-wide collection of per-switch detector state
+// machines. All methods are synchronous and deterministic; the caller
+// (one simulator instance) serializes access.
+type Engine struct {
+	nPrio int
+	nodes []nodeState
+	stats Stats
+}
+
+// NewEngine sizes the state for a fabric: portCounts[i] is node i's
+// port count (hosts may be included with their real counts; the caller
+// simply never invokes hooks for them), nPrio the number of priority
+// classes including the lossy class 0.
+func NewEngine(portCounts []int, nPrio int) *Engine {
+	e := &Engine{nPrio: nPrio, nodes: make([]nodeState, len(portCounts))}
+	for i, np := range portCounts {
+		e.nodes[i] = nodeState{
+			nPorts: np,
+			in:     make([]inState, np*nPrio),
+			eg:     make([]Tag, np*nPrio),
+			hold:   make([]int32, np*nPrio*np*nPrio),
+		}
+	}
+	return e
+}
+
+// Stats returns a copy of the running tallies.
+func (e *Engine) Stats() Stats { return e.stats }
+
+func (e *Engine) in(node, port, prio int) *inState {
+	return &e.nodes[node].in[port*e.nPrio+prio]
+}
+
+// inheritTag scans node's paused egress queues for one holding packets
+// charged to ingress (port, prio) — a live wait-for edge — and returns
+// its tag. The scan order (ascending port, then priority) is fixed, so
+// inheritance is deterministic.
+func (e *Engine) inheritTag(node, port, prio int) (Tag, bool) {
+	ns := &e.nodes[node]
+	base := (port*e.nPrio + prio) * ns.nPorts * e.nPrio
+	for out := 0; out < ns.nPorts; out++ {
+		for op := 1; op < e.nPrio; op++ {
+			slot := out*e.nPrio + op
+			if ns.eg[slot] != 0 && ns.hold[base+slot] > 0 {
+				return ns.eg[slot], true
+			}
+		}
+	}
+	return 0, false
+}
+
+// PauseSent records that node asserted PAUSE on ingress (port, prio)
+// and returns the tag the pause frame should carry: inherited from the
+// downstream wait edge when one exists, freshly minted otherwise.
+func (e *Engine) PauseSent(node, port, prio int) Tag {
+	st := e.in(node, port, prio)
+	st.paused = true
+	st.carry = 0
+	if tg, ok := e.inheritTag(node, port, prio); ok && tg.Node() != node {
+		st.tag, st.origin = tg, false
+		e.stats.Inherited++
+	} else {
+		st.tag, st.origin = MakeTag(node, port, prio, st.epoch), true
+		e.stats.Origins++
+	}
+	return st.tag
+}
+
+// ResumeSent records that the ingress resumed: the pause episode ends,
+// its epoch retires, and every outstanding copy of its tags goes stale.
+func (e *Engine) ResumeSent(node, port, prio int) {
+	st := e.in(node, port, prio)
+	st.paused = false
+	st.origin = false
+	st.tag = 0
+	st.carry = 0
+	st.epoch++
+}
+
+// PauseReceived records a pause (or pause refresh) taking effect at
+// node's egress (port, prio), carrying tag. Returns a Detection when
+// the tag is the receiver's own live tag.
+func (e *Engine) PauseReceived(node, port, prio int, tag Tag) (Detection, bool) {
+	e.nodes[node].eg[port*e.nPrio+prio] = tag
+	return e.check(node, tag, ViaPause)
+}
+
+// ResumeReceived clears the egress pause record.
+func (e *Engine) ResumeReceived(node, port, prio int) {
+	e.nodes[node].eg[port*e.nPrio+prio] = 0
+}
+
+// check applies the detection rule: a tag fires iff this node minted it
+// and the ingress it names is still paused in the minting epoch.
+func (e *Engine) check(node int, tag Tag, via string) (Detection, bool) {
+	if tag == 0 || tag.Node() != node {
+		return Detection{}, false
+	}
+	st := e.in(node, tag.Port(), tag.Prio())
+	if !st.paused || st.epoch != tag.Epoch() {
+		return Detection{}, false
+	}
+	e.stats.Detections++
+	if via == ViaPacket {
+		e.stats.ViaPacketN++
+	} else {
+		e.stats.ViaPauseN++
+	}
+	// Retire the epoch (still paused, so outstanding copies go stale and
+	// the same cycle cannot re-fire until a tag makes a fresh round trip)
+	// and re-arm as an origin under the new epoch.
+	st.epoch++
+	st.tag, st.origin = MakeTag(node, tag.Port(), tag.Prio(), st.epoch), true
+	st.carry = 0
+	return Detection{Node: node, Port: tag.Port(), Prio: tag.Prio(), Tag: tag, Via: via}, true
+}
+
+// PacketDeparture decides the tag a departing packet carries onward.
+// The packet leaves through ingress (inPort, inPrio) of node; carried
+// is the tag it arrived with. An unpaused ingress breaks the chain and
+// clears the tag; a paused one propagates, in preference order, a
+// foreign carried tag, an adopted foreign tag, then its own pause tag.
+func (e *Engine) PacketDeparture(node, inPort, inPrio int, carried Tag) Tag {
+	st := e.in(node, inPort, inPrio)
+	if !st.paused {
+		return 0
+	}
+	if carried != 0 && carried.Node() != node {
+		return carried
+	}
+	if st.carry != 0 {
+		return st.carry
+	}
+	return st.tag
+}
+
+// PacketArrival processes a packet arriving at node charged to ingress
+// (inPort, inPrio) with the given carried tag. An own live tag is a
+// detection; a foreign tag is adopted into the ingress's carry slot if
+// the ingress is paused (first adoption wins — deterministic, and the
+// oldest chain keeps walking).
+func (e *Engine) PacketArrival(node, inPort, inPrio int, carried Tag) (Detection, bool) {
+	if carried == 0 {
+		return Detection{}, false
+	}
+	if d, ok := e.check(node, carried, ViaPacket); ok {
+		return d, true
+	}
+	if carried.Node() != node {
+		st := e.in(node, inPort, inPrio)
+		if st.paused && st.carry == 0 {
+			st.carry = carried
+			e.stats.Adopted++
+		}
+	}
+	return Detection{}, false
+}
+
+// RefreshTag re-evaluates a still-paused ingress at a pause refresh and
+// returns the tag the refresh frame should carry (0 if the ingress is
+// not paused). A foreign tag now inheritable from a downstream wait
+// edge replaces the current one — this is what lets two chains that
+// asserted concurrently (both originating) converge on a single tag
+// that can complete the round trip.
+func (e *Engine) RefreshTag(node, port, prio int) Tag {
+	st := e.in(node, port, prio)
+	if !st.paused {
+		return 0
+	}
+	e.stats.Refreshes++
+	if tg, ok := e.inheritTag(node, port, prio); ok && tg.Node() != node {
+		if st.tag != tg {
+			st.tag, st.origin = tg, false
+			e.stats.Inherited++
+		}
+	} else if !st.origin {
+		// The edge we inherited from resolved; this ingress is a chain
+		// head again.
+		st.tag, st.origin = MakeTag(node, port, prio, st.epoch), true
+		e.stats.Origins++
+	}
+	return st.tag
+}
+
+// Enqueue records a lossless packet charged to ingress (inPort, inPrio)
+// entering egress queue (outPort, outPrio) at node.
+func (e *Engine) Enqueue(node, inPort, inPrio, outPort, outPrio int) {
+	ns := &e.nodes[node]
+	ns.hold[(inPort*e.nPrio+inPrio)*ns.nPorts*e.nPrio+outPort*e.nPrio+outPrio]++
+}
+
+// Dequeue reverses Enqueue when the packet leaves the queue (transmit,
+// flush, mitigation sweep).
+func (e *Engine) Dequeue(node, inPort, inPrio, outPort, outPrio int) {
+	ns := &e.nodes[node]
+	ns.hold[(inPort*e.nPrio+inPrio)*ns.nPorts*e.nPrio+outPort*e.nPrio+outPrio]--
+}
+
+// ResetNode clears node's hold matrix and ingress state — a switch
+// reboot empties every queue and forgets every pause it asserted. The
+// egress pause records survive: those claims live at the downstream
+// peers, which resume on their own. Epochs advance so any in-flight
+// tags minted before the reboot are stale.
+func (e *Engine) ResetNode(node int) {
+	ns := &e.nodes[node]
+	for i := range ns.hold {
+		ns.hold[i] = 0
+	}
+	for i := range ns.in {
+		st := &ns.in[i]
+		st.paused = false
+		st.origin = false
+		st.tag = 0
+		st.carry = 0
+		st.epoch++
+	}
+}

@@ -1,0 +1,199 @@
+package detect
+
+import "testing"
+
+func TestTagCodec(t *testing.T) {
+	cases := []struct {
+		node, port, prio int
+		epoch            uint32
+	}{
+		{0, 0, 0, 0},
+		{1, 2, 3, 4},
+		{65535, 4095, 15, 0xffffff},
+		{17, 0, 1, 9000},
+	}
+	for _, c := range cases {
+		tg := MakeTag(c.node, c.port, c.prio, c.epoch)
+		if tg == 0 {
+			t.Fatalf("MakeTag(%v) = 0; the zero value must stay reserved", c)
+		}
+		if tg.Node() != c.node || tg.Port() != c.port || tg.Prio() != c.prio || tg.Epoch() != c.epoch {
+			t.Errorf("roundtrip %v -> (%d,%d,%d,%d)", c, tg.Node(), tg.Port(), tg.Prio(), tg.Epoch())
+		}
+	}
+	if Tag(0).String() != "tag(none)" {
+		t.Errorf("zero tag renders as %q", Tag(0).String())
+	}
+}
+
+// ring drives a synthetic wait-for ring of k switches: switch i's
+// ingress port 0 (prio 1) feeds egress port 1 (prio 1), which is paused
+// by switch (i+1)%k. It exercises the engine without the simulator.
+type ring struct {
+	e *Engine
+	k int
+}
+
+func newRing(k int) *ring {
+	counts := make([]int, k)
+	for i := range counts {
+		counts[i] = 2 // port 0 = upstream, port 1 = downstream
+	}
+	return &ring{e: NewEngine(counts, 2), k: k}
+}
+
+// TestPauseChainDetection closes a ring causally: each switch holds a
+// packet for its downstream egress, receives the downstream pause, then
+// asserts its own — inheriting the tag. The origin must detect when its
+// own tag arrives on the final pause.
+func TestPauseChainDetection(t *testing.T) {
+	r := newRing(4)
+	e := r.e
+	for i := 0; i < r.k; i++ {
+		e.Enqueue(i, 0, 1, 1, 1) // ingress 0 holds a packet for egress 1
+	}
+	// Switch 0 triggers first (no paused egress yet): it originates.
+	tag := e.PauseSent(0, 0, 1)
+	if tag == 0 || tag.Node() != 0 {
+		t.Fatalf("origin tag = %v", tag)
+	}
+	if st := e.Stats(); st.Origins != 1 {
+		t.Fatalf("Origins = %d, want 1", st.Origins)
+	}
+	// The pause wave chains backward: switch 0's pause lands on switch
+	// k-1's egress, which then asserts its own pause and inherits, and so
+	// on around the ring.
+	cur := tag
+	for i := r.k - 1; i >= 1; i-- {
+		if _, ok := e.PauseReceived(i, 1, 1, cur); ok {
+			t.Fatalf("premature detection at switch %d", i)
+		}
+		cur = e.PauseSent(i, 0, 1)
+		if cur != tag {
+			t.Fatalf("switch %d minted %v instead of inheriting %v", i, cur, tag)
+		}
+	}
+	// The final pause closes the ring at the origin.
+	d, ok := e.PauseReceived(0, 1, 1, cur)
+	if !ok {
+		t.Fatal("origin did not detect its own returning tag")
+	}
+	if d.Node != 0 || d.Port != 0 || d.Prio != 1 || d.Via != ViaPause {
+		t.Errorf("detection = %+v", d)
+	}
+	// The epoch retired: the same tag cannot fire twice.
+	if _, ok := e.PauseReceived(0, 1, 1, cur); ok {
+		t.Error("stale tag re-fired after detection")
+	}
+}
+
+// TestPacketReturnDetection walks a tag around the ring in packet
+// metadata: every hop's charged ingress is paused, so the tag keeps
+// riding; the creator detects on arrival.
+func TestPacketReturnDetection(t *testing.T) {
+	r := newRing(3)
+	e := r.e
+	for i := 0; i < r.k; i++ {
+		e.Enqueue(i, 0, 1, 1, 1)
+		e.PauseSent(i, 0, 1)
+	}
+	tag := e.PacketDeparture(0, 0, 1, 0)
+	if tag == 0 || tag.Node() != 0 {
+		t.Fatalf("departure through a paused ingress carried %v", tag)
+	}
+	for i := 1; i < r.k; i++ {
+		if _, ok := e.PacketArrival(i, 0, 1, tag); ok {
+			t.Fatalf("foreign tag fired at switch %d", i)
+		}
+		out := e.PacketDeparture(i, 0, 1, tag)
+		if out != tag {
+			t.Fatalf("switch %d replaced the foreign tag: %v", i, out)
+		}
+	}
+	if _, ok := e.PacketArrival(0, 0, 1, tag); !ok {
+		t.Fatal("creator did not detect its returning packet tag")
+	}
+	st := e.Stats()
+	if st.Detections != 1 || st.ViaPacketN != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestUnpausedHopClearsTag: a hop whose charged ingress is not paused
+// breaks the congestion chain, so the tag must not survive it.
+func TestUnpausedHopClearsTag(t *testing.T) {
+	r := newRing(2)
+	e := r.e
+	e.PauseSent(0, 0, 1)
+	tag := e.PacketDeparture(0, 0, 1, 0)
+	if tag == 0 {
+		t.Fatal("no tag from paused origin")
+	}
+	// Switch 1's ingress is NOT paused.
+	if out := e.PacketDeparture(1, 0, 1, tag); out != 0 {
+		t.Errorf("unpaused hop forwarded tag %v", out)
+	}
+}
+
+// TestResumeInvalidatesEpoch: once the origin resumes, its outstanding
+// tags are stale even if the ingress re-pauses later.
+func TestResumeInvalidatesEpoch(t *testing.T) {
+	r := newRing(2)
+	e := r.e
+	e.PauseSent(0, 0, 1)
+	old := e.PacketDeparture(0, 0, 1, 0)
+	e.ResumeSent(0, 0, 1)
+	e.PauseSent(0, 0, 1) // new episode, new epoch
+	if _, ok := e.PacketArrival(0, 0, 1, old); ok {
+		t.Error("stale-epoch tag fired after resume")
+	}
+}
+
+// TestRefreshConvergesConcurrentOrigins reproduces the two-origin race:
+// both switches of a 2-ring assert before seeing each other's pause, so
+// both originate. The periodic refresh must let one chain adopt the
+// other's tag and close the loop.
+func TestRefreshConvergesConcurrentOrigins(t *testing.T) {
+	r := newRing(2)
+	e := r.e
+	e.Enqueue(0, 0, 1, 1, 1)
+	e.Enqueue(1, 0, 1, 1, 1)
+	t0 := e.PauseSent(0, 0, 1) // both originate: neither has a paused egress yet
+	t1 := e.PauseSent(1, 0, 1)
+	if _, ok := e.PauseReceived(1, 1, 1, t0); ok {
+		t.Fatal("foreign tag fired")
+	}
+	if _, ok := e.PauseReceived(0, 1, 1, t1); ok {
+		t.Fatal("foreign tag fired")
+	}
+	// Refresh: each side now sees a paused egress holding its packets and
+	// adopts the foreign tag; delivering either refreshed tag upstream
+	// closes the cycle at that tag's creator.
+	rt := e.RefreshTag(0, 0, 1)
+	if rt != t1 {
+		t.Fatalf("refresh at 0 carries %v, want adopted %v", rt, t1)
+	}
+	d, ok := e.PauseReceived(1, 1, 1, rt)
+	if !ok {
+		t.Fatal("refresh delivery did not close the cycle")
+	}
+	if d.Node != 1 || d.Via != ViaPause {
+		t.Errorf("detection = %+v", d)
+	}
+}
+
+// TestResetNode: a reboot clears holds and retires epochs.
+func TestResetNode(t *testing.T) {
+	r := newRing(2)
+	e := r.e
+	e.Enqueue(0, 0, 1, 1, 1)
+	e.PauseSent(0, 0, 1)
+	tag := e.PacketDeparture(0, 0, 1, 0)
+	e.ResetNode(0)
+	if _, ok := e.PacketArrival(0, 0, 1, tag); ok {
+		t.Error("pre-reboot tag fired after ResetNode")
+	}
+	if tg, ok := e.inheritTag(0, 0, 1); ok {
+		t.Errorf("holds survived reset: %v", tg)
+	}
+}

@@ -174,6 +174,7 @@ const (
 	timerDCQCNRecovery timerKind = iota // per-flow additive rate increase
 	timerRecoveryScan                   // detect-and-break monitor
 	timerWatchdog                       // continuous deadlock watchdog
+	timerDetectRefresh                  // in-switch detector's pause-refresh tick
 )
 
 // timerRT is one registered periodic timer. The evTimer event carries
@@ -210,5 +211,7 @@ func (n *Network) runTimer(slot int32) {
 		n.schedule(event{at: n.now + t.period, kind: evTimer, arg: slot})
 	case timerWatchdog:
 		n.watchdogTick(t, slot)
+	case timerDetectRefresh:
+		n.detectorRefreshTick(t, slot)
 	}
 }

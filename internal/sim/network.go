@@ -25,6 +25,11 @@ type packet struct {
 	// which (port, priority) counter it is charged against.
 	inPort int16
 	inPrio int16
+
+	// dtag is the DCFIT-style detection tag riding in the packet
+	// metadata (0 = none; see internal/detect). Stamped at dequeue-for-
+	// transmit when the charged ingress is paused.
+	dtag uint64
 }
 
 // fifo is an allocation-friendly packet queue.
@@ -120,11 +125,22 @@ type DropStats struct {
 	// separate from HeadroomViolation: reboot losses are expected under
 	// chaos and must not trip the lossless-drop invariant.
 	SwitchReboot int64
+	// RecoveryFlush counts lossless packets deliberately sacrificed by
+	// the detect-and-break recovery monitor (EnableRecovery) to break a
+	// wait-for cycle. Like SwitchReboot, these are intentional losses:
+	// visible in Total and the watchdog, excluded from the lossless-drop
+	// invariant.
+	RecoveryFlush int64
+	// DetectMitigation counts lossless packets the in-switch detector's
+	// mitigation hook dropped (MitigateDrop, or a demote that overflowed
+	// the lossy queue). Same contract as RecoveryFlush.
+	DetectMitigation int64
 }
 
 // Total returns all drops.
 func (d DropStats) Total() int64 {
-	return d.TTLExpired + d.NoRoute + d.LossyOverflow + d.HeadroomViolation + d.SwitchReboot
+	return d.TTLExpired + d.NoRoute + d.LossyOverflow + d.HeadroomViolation +
+		d.SwitchReboot + d.RecoveryFlush + d.DetectMitigation
 }
 
 // Network is one simulation instance.
@@ -169,6 +185,17 @@ type Network struct {
 	// per-link PFC pause-duration histograms, lossless ingress queue
 	// depths, and time-to-first-deadlock (see SetTelemetry).
 	tel *telemetry.Registry
+
+	// det, when non-nil, is the armed in-switch deadlock detector
+	// (EnableDetector, see detector.go); dtags/dtagFree is the side
+	// table parking detection tags behind evPFC args.
+	det      *detState
+	dtags    []uint64
+	dtagFree []int32
+
+	// dlTrack, when non-nil, measures exact deadlock episodes
+	// (TrackDeadlocks): onset/clear at PFC effects and interventions.
+	dlTrack *DeadlockTrack
 }
 
 // New builds a simulator over the topology and forwarding tables. The
@@ -261,7 +288,7 @@ func (n *Network) Run(until time.Duration) {
 		case evTxDone:
 			n.txDone(int(e.node), int(e.port))
 		case evPFC:
-			n.pfcEffect(int(e.node), int(e.port), int(e.prio), e.on)
+			n.pfcEffect(int(e.node), int(e.port), int(e.prio), e.on, e.arg)
 		case evFlowKick:
 			n.tryHostTx(int(e.node), int(e.port))
 		case evCall:
@@ -374,7 +401,15 @@ func (n *Network) arrive(nodeIdx, port int, pk *packet) {
 	}
 
 	n.maybeMarkECN(pk, rt.ports[out].egress[egPrio].bytes)
+	if n.det != nil && inPrio != 0 {
+		n.det.eng.Enqueue(nodeIdx, port, inPrio, out, egPrio)
+	}
 	rt.ports[out].egress[egPrio].push(*pk)
+	if n.det != nil && inPrio != 0 {
+		// After the push, so a detection's mitigation sweep sees this
+		// packet too.
+		n.detArrival(nodeIdx, port, inPrio, pk.dtag)
+	}
 	n.tryTx(nodeIdx, out)
 }
 
@@ -425,6 +460,9 @@ func (n *Network) tryTx(nodeIdx, port int) {
 				continue
 			}
 			pk := prt.egress[q].pop()
+			if n.det != nil && pk.inPrio > 0 {
+				n.detTxDequeue(nodeIdx, port, q, &pk)
+			}
 			n.startTx(nodeIdx, port, pk)
 			return
 		}
@@ -440,6 +478,9 @@ func (n *Network) tryTx(nodeIdx, port int) {
 		}
 		prt.rrNext = (q + 1) % nPrio
 		pk := prt.egress[q].pop()
+		if n.det != nil && pk.inPrio > 0 {
+			n.detTxDequeue(nodeIdx, port, q, &pk)
+		}
 		n.startTx(nodeIdx, port, pk)
 		return
 	}
@@ -572,6 +613,7 @@ func (n *Network) sendPFC(rt *nodeRT, port, prio int, on bool) {
 		kind: evPFC,
 		node: int32(prt.peer), port: prt.peerPort,
 		prio: int8(prio), on: on,
+		arg: n.detPauseTag(rt, port, prio, on),
 	})
 }
 
@@ -594,10 +636,13 @@ func (n *Network) telemetryPFC(rt *nodeRT, port, prio int, on bool) {
 		Observe(float64(prt.inBytes[prio]))
 }
 
-func (n *Network) pfcEffect(nodeIdx, port, prio int, on bool) {
+func (n *Network) pfcEffect(nodeIdx, port, prio int, on bool, arg int32) {
 	rt := &n.nodes[nodeIdx]
 	prt := &rt.ports[port]
 	prt.egressPaused[prio] = on
+	if n.det != nil || n.dlTrack != nil {
+		n.detPFCEffect(nodeIdx, rt, port, prio, on, arg)
+	}
 	if !on {
 		n.tryTx(nodeIdx, port)
 		if rt.isHost {
@@ -652,6 +697,12 @@ func (n *Network) RebootSwitch(id topology.NodeID) int64 {
 				n.sendPFC(rt, pi, prio, false)
 			}
 		}
+	}
+	if n.det != nil {
+		// Queues emptied without per-packet dequeue hooks; the pauses this
+		// switch asserted were released through sendPFC above. Zero the
+		// hold matrix and retire the tag epochs in one sweep.
+		n.det.eng.ResetNode(int(id))
 	}
 	rt.bufferUsed = 0
 	for pi := range rt.ports {

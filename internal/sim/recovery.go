@@ -92,7 +92,11 @@ func (n *Network) detectCycleQueues() []pausedQueue {
 
 // flushQueue discards every packet in one egress queue, releasing their
 // ingress accounting (which un-sticks the upstream pauses) and counting
-// the sacrifice.
+// the sacrifice. The drops are attributed: DropStats.RecoveryFlush (so a
+// soak's Total ledger balances and WatchdogStats.Clean still reads clean
+// after a successful detect-and-break — deliberate sacrifices are not
+// lossless-invariant violations) and a per-packet "recovery-flush" trace
+// drop.
 func (n *Network) flushQueue(q pausedQueue, stats *RecoveryStats) {
 	rt := &n.nodes[q.node]
 	f := &rt.ports[q.port].egress[q.prio]
@@ -100,6 +104,13 @@ func (n *Network) flushQueue(q pausedQueue, stats *RecoveryStats) {
 		pk := f.pop()
 		stats.PacketsDropped++
 		stats.BytesDropped += int64(pk.size)
+		n.drops.RecoveryFlush++
+		n.trace(TraceEvent{Kind: "drop", Node: n.nodeName(rt.id),
+			Flow: pk.flow.spec.Name, Reason: "recovery-flush"})
+		if n.det != nil && pk.inPrio > 0 {
+			n.det.eng.Dequeue(q.node, int(pk.inPort), int(pk.inPrio), q.port, q.prio)
+		}
 		n.releaseIngress(rt, &pk)
 	}
+	n.dlClearCheck()
 }

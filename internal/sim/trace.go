@@ -14,7 +14,9 @@ import (
 type TraceEvent struct {
 	// T is the simulation time in nanoseconds.
 	T int64 `json:"t"`
-	// Kind is "pause", "resume", "drop", "deadlock" or "demote".
+	// Kind is "pause", "resume", "drop", "deadlock", "demote", "detect"
+	// (the in-switch detector saw its own tag return) or "mitigate" (its
+	// mitigation hook swept the initiating packets).
 	Kind string `json:"kind"`
 	// Node names the switch where the event happened.
 	Node string `json:"node"`
@@ -29,7 +31,9 @@ type TraceEvent struct {
 	// Flow names the flow for drop/demote events.
 	Flow string `json:"flow,omitempty"`
 	// Reason qualifies drops ("ttl", "lossy-overflow", "no-route",
-	// "headroom").
+	// "headroom", "reboot", "recovery-flush", "mitigate"), the transport
+	// medium for detect events ("packet", "pause"), and the action for
+	// mitigate events ("drop", "demote").
 	Reason string `json:"reason,omitempty"`
 	// Cycle carries the pause-wait cycle for deadlock events.
 	Cycle []string `json:"cycle,omitempty"`
@@ -122,6 +126,16 @@ func (t *BinaryTracer) Trace(ev TraceEvent) {
 			Tick: ev.T, Kind: trace.KindDemote,
 			A: t.w.Intern(ev.Node), B: t.w.Intern(ev.Flow),
 		})
+	case "detect":
+		t.w.Emit(trace.Entry{
+			Tick: ev.T, Kind: trace.KindDetect, Prio: uint8(ev.Prio),
+			A: t.w.Intern(ev.Node), B: t.w.Intern(ev.Peer), C: t.w.Intern(ev.Reason),
+		})
+	case "mitigate":
+		t.w.Emit(trace.Entry{
+			Tick: ev.T, Kind: trace.KindMitigate, Prio: uint8(ev.Prio),
+			A: t.w.Intern(ev.Node), C: t.w.Intern(ev.Reason), Depth: ev.Depth,
+		})
 	case "deadlock":
 		ids := t.cycleIDs[:0]
 		for _, edge := range ev.Cycle {
@@ -171,7 +185,7 @@ func (n *Network) nodeName(id topology.NodeID) string { return n.g.Node(id).Name
 // WriteTraceSummary renders a CountingTracer's tallies.
 func WriteTraceSummary(w io.Writer, t *CountingTracer, d time.Duration) {
 	fmt.Fprintf(w, "trace over %v:\n", d)
-	for _, k := range []string{"pause", "resume", "demote", "drop", "deadlock"} {
+	for _, k := range []string{"pause", "resume", "demote", "drop", "deadlock", "detect", "mitigate"} {
 		if c := t.Counts[k]; c > 0 {
 			fmt.Fprintf(w, "  %-8s %d\n", k, c)
 		}

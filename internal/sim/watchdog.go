@@ -22,6 +22,14 @@ type WatchdogStats struct {
 	// RebootDrops is the SwitchReboot counter at the last sample: losses
 	// that are expected under chaos and excluded from the invariant.
 	RebootDrops int64
+	// RecoveryDrops is the RecoveryFlush counter at the last sample:
+	// packets the detect-and-break monitor deliberately sacrificed.
+	// Accounted here so a soak's losses stay legible, excluded from the
+	// invariant like RebootDrops.
+	RecoveryDrops int64
+	// MitigationDrops is the DetectMitigation counter at the last sample
+	// — the in-switch detector's targeted sacrifices. Same contract.
+	MitigationDrops int64
 }
 
 // Clean reports the soak invariant: no deadlock ever observed and no
@@ -55,5 +63,7 @@ func (n *Network) watchdogTick(t *timerRT, slot int32) {
 	}
 	stats.LosslessDrops = n.drops.HeadroomViolation
 	stats.RebootDrops = n.drops.SwitchReboot
+	stats.RecoveryDrops = n.drops.RecoveryFlush
+	stats.MitigationDrops = n.drops.DetectMitigation
 	n.schedule(event{at: n.now + t.period, kind: evTimer, arg: slot})
 }

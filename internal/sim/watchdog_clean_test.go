@@ -50,6 +50,55 @@ func TestWatchdogCleanExcludesRebootDrops(t *testing.T) {
 	}
 }
 
+// TestWatchdogCleanExcludesRecoveryFlush pins the attribution the
+// detect-and-break monitor's sacrifices now get: every packet
+// flushQueue discards lands in DropStats.RecoveryFlush (so Total
+// balances and a "drop" trace event names the cause), is sampled into
+// WatchdogStats.RecoveryDrops, and does NOT fail Clean() — a
+// deliberate sacrifice is not a lossless-invariant violation. Before
+// the fix these drops were counted only in RecoveryStats: invisible to
+// the drop ledger, the trace, and the watchdog.
+func TestWatchdogCleanExcludesRecoveryFlush(t *testing.T) {
+	c, tb, n := testbedNet(t, routing.UpDown)
+	g := c.Graph
+	forceFig3Routes(c, tb)
+	tr := &CountingTracer{}
+	n.SetTracer(tr)
+	rec := n.EnableRecovery(500 * time.Microsecond)
+	wd := n.StartWatchdog(500 * time.Microsecond)
+	n.AddFlow(FlowSpec{Name: "green", Src: g.MustLookup("H9"), Dst: g.MustLookup("H1")})
+	n.AddFlow(FlowSpec{Name: "blue", Src: g.MustLookup("H2"), Dst: g.MustLookup("H13"),
+		Start: time.Millisecond})
+	n.Run(20 * time.Millisecond)
+
+	if rec.Detections == 0 || rec.PacketsDropped == 0 {
+		t.Fatalf("recovery never intervened (%+v); scenario no longer forms the Figure 3 CBD", rec)
+	}
+	d := n.Drops()
+	if d.RecoveryFlush != rec.PacketsDropped {
+		t.Errorf("DropStats.RecoveryFlush = %d, want %d (RecoveryStats.PacketsDropped)",
+			d.RecoveryFlush, rec.PacketsDropped)
+	}
+	if d.Total() < d.RecoveryFlush {
+		t.Errorf("Total() = %d omits the %d flush drops", d.Total(), d.RecoveryFlush)
+	}
+	if d.HeadroomViolation != 0 {
+		t.Errorf("flush drops leaked into HeadroomViolation: %d", d.HeadroomViolation)
+	}
+	if wd.RecoveryDrops != d.RecoveryFlush {
+		t.Errorf("watchdog sampled RecoveryDrops = %d, want %d", wd.RecoveryDrops, d.RecoveryFlush)
+	}
+	if wd.LosslessDrops != 0 {
+		t.Errorf("flush drops leaked into LosslessDrops: %d", wd.LosslessDrops)
+	}
+	if !wd.Clean() {
+		t.Errorf("Clean() = false for a successful detect-and-break run: %+v", wd)
+	}
+	if got := tr.Counts["drop"]; got != rec.PacketsDropped {
+		t.Errorf("trace saw %d drop events, want %d (one per flushed packet)", got, rec.PacketsDropped)
+	}
+}
+
 // TestWatchdogDirtyOnLosslessDrops is the other half of the contract: the
 // Figure 8a legacy-egress run genuinely drops lossless packets, and Clean
 // must say so even though no deadlock ever forms.

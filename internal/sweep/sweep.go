@@ -11,6 +11,7 @@ package sweep
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sync"
 
 	"repro/internal/parallel"
@@ -27,16 +28,44 @@ func Seeds(first int64, n int) []int64 {
 	return out
 }
 
+// PanicError is a run body's panic converted to a seed-attributed
+// error. A panicking seed must not kill the whole sweep — on the
+// worker-pool path it would take the process down with a goroutine
+// backtrace that names no seed; here it costs one result slot and
+// carries the seed, the panic value and the stack of the panicking
+// goroutine, and the other seeds complete normally.
+type PanicError struct {
+	Seed  int64
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sweep: seed %d panicked: %v", e.Seed, e.Value)
+}
+
+// guard runs fn(i, seed) converting a panic into a *PanicError.
+func guard[T any](i int, seed int64, fn func(i int, seed int64) (T, error)) (result T, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Seed: seed, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return fn(i, seed)
+}
+
 // run is the shared worker pool: fn fills slot i for seeds[i]. It
 // returns the per-seed error slots so callers choose their own error
 // policy (Run reports the first in seed order, RunMerged also counts).
+// Panics in fn are recovered into *PanicError slots on both paths, so
+// the serial and parallel failure behavior is identical.
 func run[T any](seeds []int64, par int, fn func(i int, seed int64) (T, error)) ([]T, []error) {
 	results := make([]T, len(seeds))
 	errs := make([]error, len(seeds))
 	workers := parallel.Workers(par, len(seeds))
 	if workers <= 1 {
 		for i, seed := range seeds {
-			results[i], errs[i] = fn(i, seed)
+			results[i], errs[i] = guard(i, seed, fn)
 		}
 	} else {
 		next := make(chan int)
@@ -46,7 +75,7 @@ func run[T any](seeds []int64, par int, fn func(i int, seed int64) (T, error)) (
 			go func() {
 				defer wg.Done()
 				for i := range next {
-					results[i], errs[i] = fn(i, seeds[i])
+					results[i], errs[i] = guard(i, seeds[i], fn)
 				}
 			}()
 		}

@@ -144,3 +144,69 @@ func TestRunMergedNilRegistry(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRunMergedPanicRecovery: a run body that panics costs its own
+// result slot, not the sweep. The failure surfaces as a seed-attributed
+// *PanicError (with a stack), the other seeds complete, and the
+// behavior is identical on the serial and worker-pool paths.
+func TestRunMergedPanicRecovery(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		reg := telemetry.NewRegistry()
+		results, err := RunMerged(Seeds(1, 8), par, reg,
+			func(seed int64, r *telemetry.Registry) (int64, error) {
+				if seed == 5 {
+					panic(fmt.Sprintf("injected failure for seed %d", seed))
+				}
+				r.Counter("runs").Inc()
+				return seed * 10, nil
+			})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("par=%d: err = %v, want a *PanicError", par, err)
+		}
+		if pe.Seed != 5 {
+			t.Errorf("par=%d: PanicError.Seed = %d, want 5", par, pe.Seed)
+		}
+		if want := "injected failure for seed 5"; pe.Value != want {
+			t.Errorf("par=%d: PanicError.Value = %v, want %q", par, pe.Value, want)
+		}
+		if len(pe.Stack) == 0 {
+			t.Errorf("par=%d: PanicError.Stack is empty", par)
+		}
+		for i, got := range results {
+			want := (int64(i) + 1) * 10
+			if i == 4 {
+				want = 0 // the panicked slot stays zero-valued
+			}
+			if got != want {
+				t.Errorf("par=%d: results[%d] = %d, want %d", par, i, got, want)
+			}
+		}
+		if got := reg.Counter("runs").Value(); got != 7 {
+			t.Errorf("par=%d: completed runs = %d, want 7", par, got)
+		}
+		if got := reg.Counter("sweep.seed_failures").Value(); got != 1 {
+			t.Errorf("par=%d: seed_failures = %d, want 1", par, got)
+		}
+	}
+}
+
+// TestRunPanicRecovery: the plain Run path gets the same conversion.
+func TestRunPanicRecovery(t *testing.T) {
+	results, err := Run(Seeds(1, 3), 1, func(seed int64) (int, error) {
+		if seed == 2 {
+			panic("boom")
+		}
+		return int(seed), nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want a *PanicError", err)
+	}
+	if pe.Seed != 2 {
+		t.Errorf("PanicError.Seed = %d, want 2", pe.Seed)
+	}
+	if results[0] != 1 || results[1] != 0 || results[2] != 3 {
+		t.Errorf("results = %v, want [1 0 3]", results)
+	}
+}

@@ -137,5 +137,9 @@ func (s *BinarySource) Skipped() int64 { return s.r.Skipped() }
 // Truncated reports whether the binary stream ended mid-record.
 func (s *BinarySource) Truncated() bool { return s.r.Truncated() }
 
+// Alien counts skipped entries whose kind this reader does not speak —
+// evidence of a newer producer rather than damage.
+func (s *BinarySource) Alien() int64 { return s.r.AlienKinds() }
+
 // Header exposes the decoded file header.
 func (s *BinarySource) Header() trace.Header { return s.r.Header() }

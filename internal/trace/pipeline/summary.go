@@ -45,7 +45,14 @@ type Summary struct {
 	Deadlocks     int
 	FirstDeadlock int64 // simulated ns of first onset, -1 if none
 	FirstCycle    []string
-	LastT         int64
+	// Detects counts in-switch detector firings; FirstDetect is the
+	// simulated ns of the first one (-1 if none).
+	Detects     int
+	FirstDetect int64
+	// Mitigations counts detector mitigation sweeps (the packets they
+	// dropped show up under DropByReason["mitigate"]).
+	Mitigations int
+	LastT       int64
 }
 
 // NewSummary returns an empty summary sink.
@@ -59,6 +66,7 @@ func NewSummary() *Summary {
 		DropByReason:  map[string]int{},
 		DropByFlow:    map[string]int{},
 		FirstDeadlock: -1,
+		FirstDetect:   -1,
 	}
 }
 
@@ -109,6 +117,13 @@ func (s *Summary) observe(ev *trace.Event) {
 			s.FirstDeadlock = ev.T
 			s.FirstCycle = ev.Cycle
 		}
+	case "detect":
+		s.Detects++
+		if s.FirstDetect < 0 {
+			s.FirstDetect = ev.T
+		}
+	case "mitigate":
+		s.Mitigations++
 	}
 }
 
@@ -121,13 +136,32 @@ func (s *Summary) depth(lk LinkKey, d int64) {
 	h.Observe(float64(d))
 }
 
+// Diag carries the ingest-side health signals into a report: how many
+// records were skipped, how many of those had a kind this reader does
+// not speak (a newer producer), and whether the stream ended inside a
+// record.
+type Diag struct {
+	Skipped   int64
+	Alien     int64
+	Truncated bool
+}
+
 // Report renders the human summary. top bounds every per-link table;
 // skipped is the combined ingest/normalize skip count (surfaced so a
-// lossy or damaged trace never reads as a quiet one).
+// lossy or damaged trace never reads as a quiet one). It is
+// ReportDiag with only the skip count — output for a clean trace is
+// unchanged.
 func (s *Summary) Report(w io.Writer, top int, skipped int64) {
+	s.ReportDiag(w, top, Diag{Skipped: skipped})
+}
+
+// ReportDiag renders the human summary with full ingest diagnostics.
+// Every diagnostic line is conditional, so a clean trace renders
+// byte-identically to the pre-Diag format.
+func (s *Summary) ReportDiag(w io.Writer, top int, d Diag) {
 	fmt.Fprintf(w, "%d events over %v of simulated time", s.Events, time.Duration(s.LastT))
-	if skipped > 0 {
-		fmt.Fprintf(w, " (%d malformed lines skipped)", skipped)
+	if d.Skipped > 0 {
+		fmt.Fprintf(w, " (%d malformed lines skipped)", d.Skipped)
 	}
 	fmt.Fprint(w, "\n\n")
 
@@ -140,6 +174,11 @@ func (s *Summary) Report(w io.Writer, top int, skipped int64) {
 		fmt.Fprintln(w)
 	} else {
 		fmt.Fprint(w, "no deadlock\n\n")
+	}
+
+	if s.Detects > 0 {
+		fmt.Fprintf(w, "in-switch detections: %d (first at %v), mitigation sweeps: %d\n\n",
+			s.Detects, time.Duration(s.FirstDetect), s.Mitigations)
 	}
 
 	type row struct {
@@ -208,6 +247,13 @@ func (s *Summary) Report(w io.Writer, top int, skipped int64) {
 	}
 	if s.Demotes > 0 {
 		fmt.Fprintf(w, "lossless-to-lossy demotions: %d\n", s.Demotes)
+	}
+
+	if d.Alien > 0 {
+		fmt.Fprintf(w, "\nNOTE: %d entries had kinds this reader does not speak (trace from a newer producer?)\n", d.Alien)
+	}
+	if d.Truncated {
+		fmt.Fprint(w, "\nWARNING: trace ended mid-record (torn capture); totals above undercount the run\n")
 	}
 }
 

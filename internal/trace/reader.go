@@ -25,6 +25,7 @@ type Reader struct {
 	pending   Entry // pushed-back entry (deadlock assembly overshoot)
 	hasPend   bool
 	skipped   int64
+	alien     int64
 	truncated bool
 
 	buf [EntrySize]byte
@@ -54,6 +55,11 @@ func (r *Reader) Header() Header { return r.hdr }
 
 // Skipped counts undecodable entries passed over so far.
 func (r *Reader) Skipped() int64 { return r.skipped }
+
+// AlienKinds counts skipped entries whose kind this reader does not
+// speak — the subset of Skipped that suggests the trace came from a
+// newer producer rather than from damage.
+func (r *Reader) AlienKinds() int64 { return r.alien }
 
 // Truncated reports whether the stream ended inside a record.
 func (r *Reader) Truncated() bool { return r.truncated }
@@ -130,10 +136,25 @@ func (r *Reader) Next() (Event, error) {
 				T: r.nanos(e.Tick), Kind: e.Kind.String(),
 				Node: r.str(e.A), Flow: r.str(e.B),
 			}, nil
+		case KindDetect:
+			return Event{
+				T: r.nanos(e.Tick), Kind: e.Kind.String(),
+				Node: r.str(e.A), Peer: r.str(e.B), Reason: r.str(e.C),
+				Prio: int(e.Prio),
+			}, nil
+		case KindMitigate:
+			return Event{
+				T: r.nanos(e.Tick), Kind: e.Kind.String(),
+				Node: r.str(e.A), Reason: r.str(e.C),
+				Prio: int(e.Prio), Depth: e.Depth,
+			}, nil
 		case KindDeadlock:
 			return r.readDeadlock(e)
 		default:
 			// Unknown kinds and orphaned cycle edges: skip, count, go on.
+			if e.Kind >= kindMax {
+				r.alien++
+			}
 			r.skipped++
 		}
 	}

@@ -78,6 +78,14 @@ const (
 	KindDeadlock
 	KindCycleEdge
 	KindStrDef
+	// KindDetect is an in-switch deadlock detection (a = node,
+	// b = origin-ingress peer, c = transport medium, prio = priority).
+	// Additive: the wire layout is unchanged, and readers that predate
+	// it skip unknown kinds by contract, so Version stays 1.
+	KindDetect
+	// KindMitigate is a detector mitigation sweep (a = node, c = action,
+	// prio = origin priority, depth = bytes swept).
+	KindMitigate
 
 	kindMax // one past the last valid kind
 )
@@ -90,6 +98,8 @@ var kindNames = [kindMax]string{
 	KindDrop:     "drop",
 	KindDemote:   "demote",
 	KindDeadlock: "deadlock",
+	KindDetect:   "detect",
+	KindMitigate: "mitigate",
 }
 
 // String returns the event name ("pause", "drop", ...), or "" for
@@ -114,6 +124,10 @@ func KindOf(name string) Kind {
 		return KindDemote
 	case "deadlock":
 		return KindDeadlock
+	case "detect":
+		return KindDetect
+	case "mitigate":
+		return KindMitigate
 	}
 	return KindInvalid
 }
@@ -126,7 +140,8 @@ type Event struct {
 	// T is the event time in nanoseconds (ticks are rescaled on read if
 	// the producer's tick rate differs).
 	T int64 `json:"t"`
-	// Kind is "pause", "resume", "drop", "deadlock" or "demote".
+	// Kind is "pause", "resume", "drop", "deadlock", "demote", "detect"
+	// or "mitigate".
 	Kind string `json:"kind"`
 	// Node names the switch where the event happened.
 	Node string `json:"node"`

@@ -1,0 +1,66 @@
+package workload
+
+import (
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/paper"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// DetectMatrix builds one seeded instance of the detect-vs-prevent
+// experiment scenario: the Figure 3 CBD pair (green H9 -> H1, blue
+// H2 -> H13, pinned to the 1-bounce paths) with seed-jittered start
+// times, two unpinned background cross-pod flows keeping the rest of
+// the fabric busy, and a seeded chaos schedule of switch reboots aimed
+// exclusively at T2 — a ToR on neither pinned path, so the reboots add
+// buffer churn and loss without ever breaking the CBD for free. An
+// unprotected run therefore deadlocks on every seed, which is what
+// makes the arm comparison (Tagger prevents / detector recovers /
+// global scan recovers / nothing starves) meaningful.
+//
+// The same (opt, seed) always builds the same scenario: jitter is pure
+// arithmetic on the seed and the reboot schedule comes from
+// chaos.Generate's determinism contract.
+func DetectMatrix(opt Options, seed int64) *Scenario {
+	const horizon = 30 * time.Millisecond
+	s := newScenario(opt, horizon)
+	g := s.Clos.Graph
+	n := func(name string) topology.NodeID { return g.MustLookup(name) }
+
+	jitter := func(mod, step int64) time.Duration {
+		v := seed % mod
+		if v < 0 {
+			v += mod
+		}
+		return time.Duration(v*step) * time.Microsecond
+	}
+	s.addFlow(sim.FlowSpec{
+		Name: "green", Src: n("H9"), Dst: n("H1"),
+		Start: 500*time.Microsecond + jitter(7, 100),
+		Pin:   hostPath(g, n("H9"), paper.Fig3GreenPath(s.Clos), n("H1")),
+	})
+	s.addFlow(sim.FlowSpec{
+		Name: "blue", Src: n("H2"), Dst: n("H13"),
+		Start: 1500*time.Microsecond + jitter(5, 200),
+		Pin:   hostPath(g, n("H2"), paper.Fig3BluePath(s.Clos), n("H13")),
+	})
+	// Background cross traffic on normal up-down routes: load on queues
+	// the detector must not misread as a cycle.
+	s.addFlow(sim.FlowSpec{Name: "bg1", Src: n("H6"), Dst: n("H10"),
+		Start: 200 * time.Microsecond})
+	s.addFlow(sim.FlowSpec{Name: "bg2", Src: n("H14"), Dst: n("H5"),
+		Start: 800*time.Microsecond + jitter(3, 150)})
+
+	sched := chaos.Generate(chaos.Config{
+		Duration: horizon,
+		Switches: []string{"T2"},
+		Reboots:  2,
+	}, seed)
+	for _, f := range sched.Reboots() {
+		sw := n(f.Switch)
+		s.Net.At(f.At, func() { s.Net.RebootSwitch(sw) })
+	}
+	return s
+}

@@ -5,16 +5,16 @@ BENCH_OUT ?= BENCH_$(shell date +%F).json
 # benchmarks and fails on a >15% time regression against that snapshot.
 BENCH_BASELINE ?=
 
-.PHONY: all check build vet test determinism race detect-smoke bench bench-sim benchdiff benchgate telemetry-overhead trace-golden fuzz fuzz-smoke churn-fuzz cover examples experiments clean
+.PHONY: all check build vet test determinism race detect-smoke bench bench-sim benchdiff benchgate telemetry-overhead trace-golden postmortem-golden fuzz fuzz-smoke churn-fuzz cover examples experiments clean
 
 all: check
 
 # check is the pre-merge gate: build, vet, tests, the parallel-determinism
 # contract under the race detector, the full race suite, the
 # detect-vs-prevent matrix smoke, the bounded differential fuzz smoke,
-# the trace-format goldens, the telemetry overhead gate, and (opt-in via
-# BENCH_BASELINE) the benchmark regression gate.
-check: build vet test determinism race detect-smoke fuzz-smoke churn-fuzz trace-golden telemetry-overhead benchgate
+# the trace-format and post-mortem goldens, the telemetry overhead gate,
+# and (opt-in via BENCH_BASELINE) the benchmark regression gate.
+check: build vet test determinism race detect-smoke fuzz-smoke churn-fuzz trace-golden postmortem-golden telemetry-overhead benchgate
 
 build:
 	$(GO) build ./...
@@ -95,6 +95,21 @@ ifeq ($(strip $(UPDATE)),)
 else
 	$(GO) test -count=1 -run 'TestGolden' ./cmd/taggertrace/ -update
 endif
+
+# Verifies the flight-recorder forensics goldens: the checked-in seeded
+# incident capture (the detect arm's Fig 3 CBD onset) must render a
+# byte-identical post-mortem report, a fresh capture of the same seed
+# must be byte-identical to the checked-in one, and the recorder's
+# steady-state record path must stay allocation-free. After an
+# INTENTIONAL snapshot-encoding or report-layout change, regenerate with
+# `make postmortem-golden UPDATE=1` and review the diff.
+postmortem-golden:
+ifeq ($(strip $(UPDATE)),)
+	$(GO) test -count=1 -run 'TestGoldenPostmortem' ./cmd/taggertrace/
+else
+	$(GO) test -count=1 -run 'TestGoldenPostmortem' ./cmd/taggertrace/ -update
+endif
+	$(GO) test -count=1 -run 'ZeroAlloc' ./internal/trace/ ./internal/sim/
 
 fuzz:
 	$(GO) test -fuzz FuzzDecodeRoCEv2 -fuzztime 30s ./internal/wire/

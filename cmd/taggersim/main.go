@@ -11,9 +11,16 @@
 //	taggersim -exp chaos -runs 32 -par 8   # seeded chaos sweep, 8 workers
 //	taggersim -exp churn -runs 4    # fabric churn soak: incremental deltas
 //	taggersim -exp detect -runs 100 -par 8 # detect-vs-prevent 4-arm matrix
+//	taggersim -exp detect -flightrec       # + flight-recorder incident capture
 //
 // Each figure experiment runs twice — without and with Tagger — matching
 // the paper's paired plots.
+//
+// -flightrec (figures and detect) arms the always-on flight recorder:
+// deadlock onset, a detector firing, or a lossless-invariant violation
+// freezes the in-memory event ring and dumps a self-contained incident
+// file under incidents/ for `taggertrace postmortem`. Captures are
+// deterministic — same seed, same bytes, par=1 or par=N.
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -44,15 +52,16 @@ func main() {
 	log.SetPrefix("taggersim: ")
 
 	var (
-		exp    = flag.String("exp", "fig10", "experiment: fig10, fig11, fig12, table1, overhead, multiclass, recovery, dcqcn, budget, compression, isolation, reconverge, chaos, churn, detect")
-		seeds  = flag.Int("seeds", 3, "chaos: number of fault schedules to run (seeds 1..n)")
-		runs   = flag.Int("runs", 0, "chaos: number of seeded runs in the sweep (overrides -seeds)")
-		par    = flag.Int("par", 1, "chaos: sweep worker count (0 = GOMAXPROCS); results are par-independent")
-		days   = flag.Int("days", 7, "table1: days to simulate")
-		perDay = flag.Int64("per-day", 1_000_000, "table1: measurements per day")
-		trace    = flag.String("trace", "", "write an event trace to this file (figures: one file; chaos/churn: one file per seed)")
-		traceFmt = flag.String("trace-format", tagger.TraceJSONL, "trace encoding: jsonl or binary")
-		ops    = flag.String("ops", "", "serve /metrics, /healthz and /debug/pprof on this address; the process stays up after the run until interrupted (e.g. :8080)")
+		exp       = flag.String("exp", "fig10", "experiment: "+strings.Join(experiments, ", "))
+		seeds     = flag.Int("seeds", 3, "chaos: number of fault schedules to run (seeds 1..n)")
+		runs      = flag.Int("runs", 0, "chaos: number of seeded runs in the sweep (overrides -seeds)")
+		par       = flag.Int("par", 1, "chaos: sweep worker count (0 = GOMAXPROCS); results are par-independent")
+		days      = flag.Int("days", 7, "table1: days to simulate")
+		perDay    = flag.Int64("per-day", 1_000_000, "table1: measurements per day")
+		trace     = flag.String("trace", "", "write an event trace to this file (figures: one file; chaos/churn: one file per seed)")
+		traceFmt  = flag.String("trace-format", tagger.TraceJSONL, "trace encoding: jsonl or binary")
+		flightrec = flag.Bool("flightrec", false, "figures/detect: arm the flight recorder; incidents dump to incidents/*.tgl for `taggertrace postmortem`")
+		ops       = flag.String("ops", "", "serve /metrics, /healthz and /debug/pprof on this address; the process stays up after the run until interrupted (e.g. :8080)")
 	)
 	prof := profile.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -90,6 +99,31 @@ func main() {
 			"fig11": tagger.Figure11,
 			"fig12": tagger.Figure12,
 		}[*exp]
+		if *flightrec {
+			if *trace != "" {
+				log.Fatal("-flightrec and -trace are mutually exclusive for figures (the recorder is the capture)")
+			}
+			runFR := func(withTagger bool, label string) {
+				res, fr, err := tagger.FigureFlightRec(*exp, withTagger, tagger.FlightRecConfig{})
+				if err != nil {
+					log.Fatal(err)
+				}
+				printExperiment(res)
+				incs := fr.Incidents()
+				for i, name := range writeIncidents(fmt.Sprintf("%s.%s", *exp, label), incs) {
+					inc := incs[i]
+					fmt.Printf("flight recorder: incident %d (%s at %s, t=%v) -> %s\n",
+						inc.Seq, inc.Trigger, inc.Node, inc.At, name)
+				}
+				fmt.Printf("flight recorder: %d incidents captured, %d triggers dropped, %d ring overwrites\n",
+					fr.Captured(), fr.DroppedTriggers(), fr.Overwrites())
+			}
+			fmt.Printf("=== %s WITHOUT Tagger (flight recorder armed) ===\n", *exp)
+			runFR(false, "without")
+			fmt.Printf("\n=== %s WITH Tagger (k=1, flight recorder armed) ===\n", *exp)
+			runFR(true, "with")
+			break
+		}
 		if *trace != "" {
 			f, err := os.Create(*trace)
 			if err != nil {
@@ -97,11 +131,15 @@ func main() {
 			}
 			defer f.Close()
 			fmt.Printf("=== %s WITHOUT Tagger (traced to %s, %s) ===\n", *exp, *trace, *traceFmt)
-			res, err := tagger.FigureTracedFormat(*exp, false, f, *traceFmt)
+			res, st, err := tagger.FigureTracedStats(*exp, false, f, *traceFmt)
 			if err != nil {
 				log.Fatal(err)
 			}
 			printExperiment(res)
+			fmt.Printf("trace capture: %d events dropped by the writer ring\n", st.Dropped)
+			if st.Dropped > 0 && *traceFmt == tagger.TraceBinary {
+				log.Fatalf("binary trace %s is incomplete (%d events dropped)", *trace, st.Dropped)
+			}
 			break
 		}
 		fmt.Printf("=== %s WITHOUT Tagger ===\n", *exp)
@@ -282,13 +320,43 @@ func main() {
 		fmt.Println("false-positive oracle), detect (in-switch tag detector + targeted")
 		fmt.Println("drop), scan (500us global-view detect-and-break), none (control)")
 		fmt.Println()
-		matrix, err := tagger.DetectMatrix(sweep.Seeds(1, n), *par, opsReg)
+		var matrix map[tagger.DetectArm][]tagger.DetectRunResult
+		var err error
+		if *flightrec {
+			matrix, err = tagger.DetectMatrixFlightRec(sweep.Seeds(1, n), *par, opsReg, tagger.FlightRecConfig{})
+		} else {
+			matrix, err = tagger.DetectMatrix(sweep.Seeds(1, n), *par, opsReg)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
 		sums := tagger.SummarizeDetectMatrix(matrix)
 		fmt.Print(tagger.DetectMatrixTable(sums))
 		fmt.Println()
+		if *flightrec {
+			var first string
+			for _, arm := range tagger.DetectArms() {
+				var captured int
+				var dropped, overwrites int64
+				for _, r := range matrix[arm] {
+					names := writeIncidents(fmt.Sprintf("detect.seed%d.%s", r.Seed, arm), r.Incidents)
+					if first == "" && len(names) > 0 {
+						first = names[0]
+					}
+					captured += len(r.Incidents)
+					dropped += r.FlightRecDropped
+					if r.FlightRecOverwrites > overwrites {
+						overwrites = r.FlightRecOverwrites
+					}
+				}
+				fmt.Printf("flight recorder: %-6s arm: %d incidents captured, %d triggers dropped, max ring overwrites %d\n",
+					arm, captured, dropped, overwrites)
+			}
+			if first != "" {
+				fmt.Printf("forensics: taggertrace postmortem %s\n", first)
+			}
+			fmt.Println()
+		}
 		for _, s := range sums {
 			switch s.Arm {
 			case tagger.ArmTagger:
@@ -325,28 +393,63 @@ func main() {
 		fmt.Printf("  InPort bitmaps only:  %d\n", lv.InPortOnly)
 		fmt.Printf("  joint aggregation:    %d\n", lv.Joint)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; valid experiments: %s\n",
+			*exp, strings.Join(experiments, ", "))
 		os.Exit(2)
 	}
 }
 
+// experiments lists every -exp value the switch in main accepts, in
+// help/usage order; the default case prints it so a typo answers with
+// the menu, not just a shrug.
+var experiments = []string{
+	"fig10", "fig11", "fig12", "table1", "overhead", "multiclass",
+	"recovery", "dcqcn", "budget", "compression", "isolation",
+	"reconverge", "chaos", "churn", "detect",
+}
+
+// writeIncidents dumps each captured incident under incidents/ as
+// <stem>.<seq>.tgl and prints where it went, returning the paths.
+func writeIncidents(stem string, incs []tagger.Incident) []string {
+	if len(incs) == 0 {
+		return nil
+	}
+	if err := os.MkdirAll("incidents", 0o755); err != nil {
+		log.Fatal(err)
+	}
+	var names []string
+	for _, inc := range incs {
+		name := fmt.Sprintf("incidents/%s.%d.tgl", stem, inc.Seq)
+		if err := os.WriteFile(name, inc.Data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		names = append(names, name)
+	}
+	return names
+}
+
 // openTrace creates path and wires a tracer in the requested encoding;
-// the returned finish function flushes the capture, surfaces any event
-// loss and closes the file.
+// the returned finish function flushes the capture, prints the
+// writer-ring drop counter (a lossy capture must never read as a
+// complete one), surfaces any loss as an error, and closes the file.
 func openTrace(path, format string) (sim.Tracer, func() error, error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, nil, err
 	}
-	tr, finish, err := tagger.NewTracer(f, format)
+	tr, finish, err := tagger.NewTracerStats(f, format)
 	if err != nil {
 		f.Close()
 		return nil, nil, err
 	}
 	return tr, func() error {
-		err := finish()
+		st, err := finish()
 		if cerr := f.Close(); err == nil {
 			err = cerr
+		}
+		fmt.Printf("trace capture %s: %d events dropped by the writer ring\n", path, st.Dropped)
+		if err == nil && format == tagger.TraceBinary && st.Dropped > 0 {
+			err = fmt.Errorf("binary trace %s is incomplete (%d events dropped)", path, st.Dropped)
 		}
 		return err
 	}, nil

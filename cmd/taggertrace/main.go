@@ -9,6 +9,13 @@
 //	taggersim -exp fig10 -trace /tmp/fig10.trc -trace-format binary
 //	taggertrace /tmp/fig10.trc                # format auto-sniffed
 //	taggertrace -o jsonl /tmp/fig10.trc       # downgrade to JSONL
+//	taggertrace postmortem incident.tgl       # flight-recorder forensics
+//
+// The postmortem subcommand (equivalently `-o postmortem`) runs the
+// forensics pipeline over a flight-recorder incident capture
+// (`taggersim -flightrec`): it reconstructs the wait-for cycle from
+// the frozen snapshot, attributes the queued bytes hop by hop to flows
+// and TCAM rules, and lays out the onset timeline.
 //
 // Malformed input (log shippers sometimes interleave writes) is skipped
 // and counted, not fatal: the remaining events still tell the story.
@@ -25,6 +32,7 @@ import (
 	"log"
 	"os"
 
+	"repro/internal/trace"
 	"repro/internal/trace/pipeline"
 )
 
@@ -59,8 +67,18 @@ func run(r io.Reader, w io.Writer, format, output string, top int) (pipeline.Dia
 		if err := pipeline.Run(src, stages, pipeline.NewJSONLSink(w)); err != nil {
 			return diag(), err
 		}
+	case "postmortem":
+		pm := pipeline.NewPostmortem()
+		if err := pipeline.Run(src, stages, pm); err != nil {
+			return diag(), err
+		}
+		var snap *trace.Snapshot
+		if bs, ok := src.(*pipeline.BinarySource); ok {
+			snap = bs.Snapshot()
+		}
+		pm.Render(w, snap, diag())
 	default:
-		return pipeline.Diag{}, fmt.Errorf("unknown output %q (want report or jsonl)", output)
+		return pipeline.Diag{}, fmt.Errorf("unknown output %q (want report, jsonl or postmortem)", output)
 	}
 	return diag(), nil
 }
@@ -70,11 +88,15 @@ func main() {
 	log.SetPrefix("taggertrace: ")
 	top := flag.Int("top", 10, "links to show in the per-link tables")
 	format := flag.String("format", pipeline.FormatAuto, "input format: auto, binary or jsonl")
-	output := flag.String("o", "report", "output: report (human summary) or jsonl (re-emit the event stream)")
+	output := flag.String("o", "report", "output: report (human summary), jsonl (re-emit the event stream) or postmortem (flight-recorder forensics)")
 	allowTrunc := flag.Bool("allow-truncated", false, "exit zero even if the binary trace ends mid-record")
-	flag.Parse()
+	argv := os.Args[1:]
+	if len(argv) > 0 && argv[0] == "postmortem" {
+		argv = append([]string{"-o", "postmortem"}, argv[1:]...)
+	}
+	flag.CommandLine.Parse(argv)
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: taggertrace [-top N] [-format auto|binary|jsonl] [-o report|jsonl] [-allow-truncated] <trace>")
+		fmt.Fprintln(os.Stderr, "usage: taggertrace [postmortem] [-top N] [-format auto|binary|jsonl] [-o report|jsonl|postmortem] [-allow-truncated] <trace>")
 		os.Exit(2)
 	}
 	f, err := os.Open(flag.Arg(0))

@@ -22,9 +22,11 @@ import (
 var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
 
 const (
-	goldenJSONL  = "testdata/fig10.jsonl"
-	goldenBinary = "testdata/fig10.bin"
-	goldenReport = "testdata/report.golden"
+	goldenJSONL   = "testdata/fig10.jsonl"
+	goldenBinary  = "testdata/fig10.bin"
+	goldenReport  = "testdata/report.golden"
+	goldenTGL     = "testdata/fig3cbd.tgl"
+	goldenForensy = "testdata/postmortem.golden"
 )
 
 // regenerate captures the deterministic fig10 (no Tagger) run in both
@@ -110,6 +112,91 @@ func TestGoldenReport(t *testing.T) {
 	}
 	if !strings.Contains(string(want), "DEADLOCK onset") {
 		t.Errorf("golden fig10 (no Tagger) report lost its deadlock:\n%s", want)
+	}
+}
+
+// regeneratePostmortem captures a seeded flight-recorder incident — the
+// detect arm's Fig 3 CBD deadlock onset — and pins the forensics report
+// rendered from it.
+func regeneratePostmortem(t *testing.T) {
+	t.Helper()
+	if err := os.MkdirAll("testdata", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	res, err := tagger.DetectRunFlightRec(1, tagger.ArmDetect, nil, tagger.FlightRecConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Incidents) == 0 {
+		t.Fatal("seeded detect run captured no incidents")
+	}
+	inc := res.Incidents[0]
+	if err := os.WriteFile(goldenTGL, inc.Data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var report bytes.Buffer
+	if _, err := run(bytes.NewReader(inc.Data), &report, "binary", "postmortem", 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(goldenForensy, report.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("regenerated %s, %s", goldenTGL, goldenForensy)
+}
+
+// TestGoldenPostmortem pins the forensics pipeline end to end: the
+// checked-in incident capture (a seeded detect-arm deadlock onset) must
+// render byte-identically to testdata/postmortem.golden, and the report
+// must name the wait-for cycle, the culprit flows and the live detector
+// tags. A diff means the snapshot encoding or the report layout changed;
+// regenerate deliberately with `make postmortem-golden UPDATE=1`.
+func TestGoldenPostmortem(t *testing.T) {
+	if *update {
+		regeneratePostmortem(t)
+	}
+	want, err := os.ReadFile(goldenForensy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, format := range []string{"auto", "binary"} {
+		got, skipped := runFile(t, goldenTGL, format, "postmortem")
+		if skipped != 0 {
+			t.Errorf("format %s: %d entries skipped in a clean capture", format, skipped)
+		}
+		if got != string(want) {
+			t.Errorf("format %s: postmortem diverges from %s\n--- got ---\n%s--- want ---\n%s",
+				format, goldenForensy, got, want)
+		}
+	}
+	for _, must := range []string{"POST-MORTEM: deadlock-onset", "wait-for cycle", "flow ", "live detector tags"} {
+		if !strings.Contains(string(want), must) {
+			t.Errorf("golden postmortem report lost %q:\n%s", must, want)
+		}
+	}
+}
+
+// TestGoldenPostmortemFresh re-captures the same seeded incident live
+// and checks it is byte-identical to the checked-in capture: the
+// recorder's output is a pure function of (seed, arm), never of wall
+// clock, host or scheduling.
+func TestGoldenPostmortemFresh(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates a full detect run")
+	}
+	want, err := os.ReadFile(goldenTGL)
+	if err != nil {
+		t.Skipf("golden incident missing (run with -update): %v", err)
+	}
+	res, err := tagger.DetectRunFlightRec(1, tagger.ArmDetect, nil, tagger.FlightRecConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Incidents) == 0 {
+		t.Fatal("seeded detect run captured no incidents")
+	}
+	if !bytes.Equal(res.Incidents[0].Data, want) {
+		t.Errorf("fresh capture differs from %s (%d vs %d bytes): incident capture is not deterministic",
+			goldenTGL, len(res.Incidents[0].Data), len(want))
 	}
 }
 

@@ -304,64 +304,131 @@ const (
 	TraceBinary = "binary"
 )
 
-// NewTracer builds an event tracer writing to w in the requested
-// encoding. The returned finish function flushes the capture and
-// reports any loss — a write error, or (binary) ring-buffer drops — as
-// an error; call it exactly once, after the simulation completes.
-func NewTracer(w io.Writer, format string) (sim.Tracer, func() error, error) {
+// CaptureStats reports what one traced run's capture path shed:
+// Dropped counts events the writer lost — the binary tracer's SPSC
+// ring under backpressure, or JSONL events arriving after a write
+// error. Surfaced so a lossy capture never reads as a complete one.
+type CaptureStats struct {
+	Dropped int64
+}
+
+// NewTracerStats builds an event tracer writing to w in the requested
+// encoding. The returned finish function flushes the capture and hands
+// back its loss counters; a write error is returned as an error, but
+// ring drops alone are the caller's policy call (NewTracer turns them
+// into errors; taggersim surfaces them in its end-of-run summary).
+// Call finish exactly once, after the simulation completes.
+func NewTracerStats(w io.Writer, format string) (sim.Tracer, func() (CaptureStats, error), error) {
 	switch format {
 	case "", TraceJSONL:
 		tr := &sim.JSONLTracer{W: w}
-		return tr, func() error {
+		return tr, func() (CaptureStats, error) {
+			st := CaptureStats{Dropped: tr.Dropped}
 			if tr.Err != nil {
-				return fmt.Errorf("tagger: trace write: %w (%d events dropped)", tr.Err, tr.Dropped)
+				return st, fmt.Errorf("tagger: trace write: %w (%d events dropped)", tr.Err, tr.Dropped)
 			}
-			return nil
+			return st, nil
 		}, nil
 	case TraceBinary:
 		bt, err := sim.NewBinaryTracer(w, trace.Config{})
 		if err != nil {
 			return nil, nil, err
 		}
-		return bt, func() error {
+		return bt, func() (CaptureStats, error) {
 			if err := bt.Close(); err != nil {
-				return fmt.Errorf("tagger: trace write: %w", err)
+				return CaptureStats{Dropped: bt.Dropped()}, fmt.Errorf("tagger: trace write: %w", err)
 			}
-			if n := bt.Dropped(); n > 0 {
-				return fmt.Errorf("tagger: binary trace dropped %d events", n)
-			}
-			return nil
+			return CaptureStats{Dropped: bt.Dropped()}, nil
 		}, nil
 	}
 	return nil, nil, fmt.Errorf("tagger: unknown trace format %q (want %s or %s)", format, TraceJSONL, TraceBinary)
 }
 
-// FigureTracedFormat runs one of the figure experiments with an event
-// trace (pauses, resumes, demotions, drops, deadlock onsets) written to
-// w in the given encoding (TraceJSONL or TraceBinary).
-func FigureTracedFormat(name string, withTagger bool, w io.Writer, format string) (ExperimentResult, error) {
+// NewTracer is NewTracerStats with the strict loss policy folded in:
+// finish reports any loss — a write error, or (binary) ring-buffer
+// drops — as an error.
+func NewTracer(w io.Writer, format string) (sim.Tracer, func() error, error) {
+	tr, finish, err := NewTracerStats(w, format)
+	if err != nil {
+		return nil, nil, err
+	}
+	isBinary := format == TraceBinary
+	return tr, func() error {
+		st, err := finish()
+		if err != nil {
+			return err
+		}
+		if isBinary && st.Dropped > 0 {
+			return fmt.Errorf("tagger: binary trace dropped %d events", st.Dropped)
+		}
+		return nil
+	}, nil
+}
+
+// figureScenario builds the named figure experiment's scenario.
+func figureScenario(name string, withTagger bool) (*workload.Scenario, error) {
 	opt := workload.Options{}
 	if withTagger {
 		opt.Bounces = 1
 	}
-	var s *workload.Scenario
 	switch name {
 	case "fig10":
-		s = workload.Figure10(opt)
+		return workload.Figure10(opt), nil
 	case "fig11":
-		s = workload.Figure11(opt)
+		return workload.Figure11(opt), nil
 	case "fig12":
-		s = workload.Figure12(opt)
-	default:
-		return ExperimentResult{}, fmt.Errorf("tagger: unknown figure %q", name)
+		return workload.Figure12(opt), nil
 	}
-	tr, finish, err := NewTracer(w, format)
+	return nil, fmt.Errorf("tagger: unknown figure %q", name)
+}
+
+// FigureTracedStats runs one of the figure experiments with an event
+// trace written to w, surfacing the capture-loss counters so the
+// caller can put them in its end-of-run summary. Drops alone are not
+// an error here; a write failure is.
+func FigureTracedStats(name string, withTagger bool, w io.Writer, format string) (ExperimentResult, CaptureStats, error) {
+	s, err := figureScenario(name, withTagger)
 	if err != nil {
-		return ExperimentResult{}, err
+		return ExperimentResult{}, CaptureStats{}, err
+	}
+	tr, finish, err := NewTracerStats(w, format)
+	if err != nil {
+		return ExperimentResult{}, CaptureStats{}, err
 	}
 	s.Net.SetTracer(tr)
 	res := runScenario(s)
-	return res, finish()
+	st, err := finish()
+	return res, st, err
+}
+
+// FigureTracedFormat runs one of the figure experiments with an event
+// trace (pauses, resumes, demotions, drops, deadlock onsets) written to
+// w in the given encoding (TraceJSONL or TraceBinary); any capture
+// loss is an error.
+func FigureTracedFormat(name string, withTagger bool, w io.Writer, format string) (ExperimentResult, error) {
+	res, st, err := FigureTracedStats(name, withTagger, w, format)
+	if err != nil {
+		return res, err
+	}
+	if format == TraceBinary && st.Dropped > 0 {
+		return res, fmt.Errorf("tagger: binary trace dropped %d events", st.Dropped)
+	}
+	return res, nil
+}
+
+// FigureFlightRec runs one of the figure experiments with the flight
+// recorder armed: deadlock onset (or an invariant violation) freezes
+// the last-window ring and captures a self-contained incident. The
+// returned recorder holds the incidents and the capture-loss counters
+// (DroppedTriggers, Overwrites) for the end-of-run summary.
+func FigureFlightRec(name string, withTagger bool, cfg sim.FlightRecConfig) (ExperimentResult, *sim.FlightRecorder, error) {
+	s, err := figureScenario(name, withTagger)
+	if err != nil {
+		return ExperimentResult{}, nil, err
+	}
+	fr := s.Net.EnableFlightRecorder(cfg)
+	res := runScenario(s)
+	return res, fr, nil
 }
 
 // FigureTraced is FigureTracedFormat pinned to the legacy JSONL

@@ -65,6 +65,16 @@ type DetectRunResult struct {
 
 	Drops    sim.DropStats
 	Watchdog sim.WatchdogStats
+
+	// Incidents holds the flight-recorder captures for this cell
+	// (DetectRunFlightRec / DetectMatrixFlightRec only; nil otherwise).
+	// Each is a self-contained binary trace for `taggertrace
+	// postmortem`, deterministic per (seed, arm), so the sweep stays
+	// par-independent. FlightRecDropped and FlightRecOverwrites are the
+	// capture-loss counters for the run summary.
+	Incidents           []sim.Incident
+	FlightRecDropped    int64
+	FlightRecOverwrites int64
 }
 
 // Recovered reports whether the run's protection actually cleared
@@ -78,6 +88,18 @@ func (r DetectRunResult) Recovered() bool { return r.Onsets > 0 && r.Recoveries 
 // ("detect.matrix.*" with an arm label), commutative under merge so the
 // sweep aggregate is par-independent.
 func DetectRun(seed int64, arm DetectArm, reg *telemetry.Registry) (DetectRunResult, error) {
+	return detectRun(seed, arm, reg, nil)
+}
+
+// DetectRunFlightRec is DetectRun with the flight recorder armed: any
+// deadlock onset, detector firing (or false positive) or invariant
+// violation freezes the ring and files an incident into the result's
+// Incidents.
+func DetectRunFlightRec(seed int64, arm DetectArm, reg *telemetry.Registry, cfg sim.FlightRecConfig) (DetectRunResult, error) {
+	return detectRun(seed, arm, reg, &cfg)
+}
+
+func detectRun(seed int64, arm DetectArm, reg *telemetry.Registry, frCfg *sim.FlightRecConfig) (DetectRunResult, error) {
 	opt := workload.Options{}
 	if arm == ArmTagger {
 		opt.Bounces = 1
@@ -100,6 +122,10 @@ func DetectRun(seed int64, arm DetectArm, reg *telemetry.Registry) (DetectRunRes
 	case ArmNone:
 	default:
 		return res, fmt.Errorf("detect: unknown arm %q", arm)
+	}
+	var fr *sim.FlightRecorder
+	if frCfg != nil {
+		fr = s.Net.EnableFlightRecorder(*frCfg)
 	}
 	track := s.Net.TrackDeadlocks()
 	wd := s.Net.StartWatchdog(500 * time.Microsecond)
@@ -125,6 +151,14 @@ func DetectRun(seed int64, arm DetectArm, reg *telemetry.Registry) (DetectRunRes
 	res.GoodputGbps = s.AggregateGoodput(2*time.Millisecond, s.Duration)
 	res.Drops = s.Net.Drops()
 	res.Watchdog = *wd
+	if fr != nil {
+		res.Incidents = fr.Incidents()
+		res.FlightRecDropped = fr.DroppedTriggers()
+		res.FlightRecOverwrites = fr.Overwrites()
+		if err := fr.SinkErr(); err != nil {
+			return res, fmt.Errorf("detect: seed %d arm %s: flight-recorder sink: %w", seed, arm, err)
+		}
+	}
 
 	if reg != nil {
 		a := string(arm)
@@ -145,12 +179,24 @@ func DetectRun(seed int64, arm DetectArm, reg *telemetry.Registry) (DetectRunRes
 // build), results return in (arm, seed) order, and — via
 // sweep.RunMerged — per-run telemetry merges into reg deterministically.
 func DetectMatrix(seeds []int64, par int, reg *telemetry.Registry) (map[DetectArm][]DetectRunResult, error) {
+	return detectMatrix(seeds, par, reg, nil)
+}
+
+// DetectMatrixFlightRec is DetectMatrix with the flight recorder armed
+// in every cell; each result carries its incidents. Captures are
+// deterministic per (seed, arm), so the matrix — incident bytes
+// included — is identical at par=1 and par=N.
+func DetectMatrixFlightRec(seeds []int64, par int, reg *telemetry.Registry, cfg sim.FlightRecConfig) (map[DetectArm][]DetectRunResult, error) {
+	return detectMatrix(seeds, par, reg, &cfg)
+}
+
+func detectMatrix(seeds []int64, par int, reg *telemetry.Registry, frCfg *sim.FlightRecConfig) (map[DetectArm][]DetectRunResult, error) {
 	out := make(map[DetectArm][]DetectRunResult, 4)
 	for _, arm := range DetectArms() {
 		arm := arm
 		results, err := sweep.RunMerged(seeds, par, reg,
 			func(seed int64, runReg *telemetry.Registry) (DetectRunResult, error) {
-				return DetectRun(seed, arm, runReg)
+				return detectRun(seed, arm, runReg, frCfg)
 			})
 		if err != nil {
 			return out, fmt.Errorf("detect: arm %s: %w", arm, err)

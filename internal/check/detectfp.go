@@ -22,6 +22,12 @@ type DetectorQuietReport struct {
 	// every firing is a false positive by definition.
 	Detections     int
 	FalsePositives int
+	// Incidents holds the flight-recorder captures for this seed: a
+	// detector firing with no live cycle freezes the recorder with
+	// trigger "fp-oracle", so an oracle failure ships its own forensic
+	// evidence (feed Incident.Data to `taggertrace postmortem`). Empty
+	// on a healthy run.
+	Incidents []sim.Incident
 }
 
 // VerifyDetectorQuiet is the detector's false-positive oracle: for each
@@ -44,6 +50,7 @@ func VerifyDetectorQuiet(seeds []int64) ([]DetectorQuietReport, error) {
 	for _, seed := range seeds {
 		s := workload.DetectMatrix(workload.Options{Bounces: 1}, seed)
 		det := s.Net.EnableDetector(sim.DetectorConfig{Mitigation: sim.MitigateNone})
+		fr := s.Net.EnableFlightRecorder(sim.FlightRecConfig{})
 		wd := s.Net.StartWatchdog(500 * time.Microsecond)
 		s.Run()
 		r := DetectorQuietReport{
@@ -52,6 +59,7 @@ func VerifyDetectorQuiet(seeds []int64) ([]DetectorQuietReport, error) {
 			DeadlockSamples: wd.DeadlockSamples,
 			Detections:      det.Detections,
 			FalsePositives:  det.FalsePositives,
+			Incidents:       fr.Incidents(),
 		}
 		out = append(out, r)
 		if r.WatchdogSamples == 0 {
@@ -62,8 +70,8 @@ func VerifyDetectorQuiet(seeds []int64) ([]DetectorQuietReport, error) {
 				seed, r.DeadlockSamples)
 		}
 		if r.Detections != 0 {
-			return out, fmt.Errorf("check: seed %d: detector fired %d times on a run the watchdog confirms was deadlock-free — false positives",
-				seed, r.Detections)
+			return out, fmt.Errorf("check: seed %d: detector fired %d times on a run the watchdog confirms was deadlock-free — false positives (%d flight-recorder captures attached)",
+				seed, r.Detections, len(r.Incidents))
 		}
 	}
 	return out, nil

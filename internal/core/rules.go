@@ -81,6 +81,13 @@ type Ruleset struct {
 	rules   map[ruleKey]int
 	maxTag  int    // largest lossless tag any rule can assign or match
 	isHostP []bool // dense by PortID: port attaches a host
+
+	// ids/idKeys is the dense rule-ID index: each installed key's index
+	// in Rules() order, so a rule has one stable small integer identity
+	// for the flight recorder's TCAM attribution. Built lazily on first
+	// ClassifyID/RuleByID and dropped whenever the table mutates.
+	ids    map[ruleKey]int
+	idKeys []ruleKey
 }
 
 // NewRuleset returns an empty ruleset over g with the given largest
@@ -131,6 +138,7 @@ func (rs *Ruleset) HostFacing(sw topology.NodeID, num int) bool {
 // if the key already existed with a different rewrite (the caller decides
 // the resolution; Add keeps the new value).
 func (rs *Ruleset) Add(r Rule) (old int, conflicted bool) {
+	rs.ids, rs.idKeys = nil, nil
 	k := packRuleKey(r.Switch, r.Tag, r.In, r.Out)
 	if prev, ok := rs.rules[k]; ok && prev != r.NewTag {
 		rs.rules[k] = r.NewTag
@@ -178,6 +186,58 @@ func (rs *Ruleset) Classify(sw topology.NodeID, tag, in, out int) int {
 
 // Len returns the number of installed rules.
 func (rs *Ruleset) Len() int { return len(rs.rules) }
+
+// buildIDs materializes the dense rule-ID index in Rules() order.
+func (rs *Ruleset) buildIDs() {
+	keys := make([]ruleKey, 0, len(rs.rules))
+	for k := range rs.rules {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	ids := make(map[ruleKey]int, len(keys))
+	for i, k := range keys {
+		ids[k] = i
+	}
+	rs.ids, rs.idKeys = ids, keys
+}
+
+// ClassifyID is Classify, additionally reporting which exact TCAM entry
+// decided (its dense ID — the rule's index in Rules() order); id -1
+// means a §7 default action decided instead (injection, delivery, or
+// the lossy safeguard).
+func (rs *Ruleset) ClassifyID(sw topology.NodeID, tag, in, out int) (newTag, id int) {
+	if !rs.IsLossless(tag) {
+		return LossyTag, -1
+	}
+	if k, ok := packRuleKeyOK(sw, tag, in, out); ok {
+		if nt, hit := rs.rules[k]; hit {
+			if rs.ids == nil {
+				rs.buildIDs()
+			}
+			return nt, rs.ids[k]
+		}
+	}
+	if rs.HostFacing(sw, in) {
+		return tag, -1
+	}
+	if rs.HostFacing(sw, out) {
+		return tag, -1
+	}
+	return LossyTag, -1
+}
+
+// RuleByID resolves a dense rule ID back to its rule.
+func (rs *Ruleset) RuleByID(id int) (Rule, bool) {
+	if rs.ids == nil {
+		rs.buildIDs()
+	}
+	if id < 0 || id >= len(rs.idKeys) {
+		return Rule{}, false
+	}
+	k := rs.idKeys[id]
+	sw, tag, in, o := k.unpack()
+	return Rule{Switch: sw, Tag: tag, In: in, Out: o, NewTag: rs.rules[k]}, true
+}
 
 // Rules returns all rules in deterministic order.
 func (rs *Ruleset) Rules() []Rule {

@@ -336,6 +336,38 @@ func (e *Engine) RefreshTag(node, port, prio int) Tag {
 	return st.tag
 }
 
+// LiveTag is one live ingress detector state, reported by VisitLive.
+type LiveTag struct {
+	Node, Port, Prio int
+	// Tag is the tag the asserted pause carries; Origin whether this
+	// ingress minted it (chain head) or inherited it.
+	Tag    Tag
+	Origin bool
+	// Carry is the adopted foreign tag, if any (0 = none).
+	Carry Tag
+}
+
+// VisitLive calls fn for every paused ingress holding a live tag, in
+// deterministic (node, port, prio) order — the detector's working set,
+// snapshotted by the flight recorder at an incident freeze.
+func (e *Engine) VisitLive(fn func(LiveTag)) {
+	for ni := range e.nodes {
+		ns := &e.nodes[ni]
+		for port := 0; port < ns.nPorts; port++ {
+			for prio := 0; prio < e.nPrio; prio++ {
+				st := &ns.in[port*e.nPrio+prio]
+				if !st.paused || st.tag == 0 {
+					continue
+				}
+				fn(LiveTag{
+					Node: ni, Port: port, Prio: prio,
+					Tag: st.tag, Origin: st.origin, Carry: st.carry,
+				})
+			}
+		}
+	}
+}
+
 // Enqueue records a lossless packet charged to ingress (inPort, inPrio)
 // entering egress queue (outPort, outPrio) at node.
 func (e *Engine) Enqueue(node, inPort, inPrio, outPort, outPrio int) {

@@ -30,6 +30,11 @@ type packet struct {
 	// metadata (0 = none; see internal/detect). Stamped at dequeue-for-
 	// transmit when the charged ingress is paused.
 	dtag uint64
+
+	// rule is 1 + the dense TCAM rule ID that last classified the
+	// packet (0: a §7 default action decided, or no flight recorder is
+	// armed — the only consumer of this attribution).
+	rule int32
 }
 
 // fifo is an allocation-friendly packet queue.
@@ -180,6 +185,11 @@ type Network struct {
 	// deadlock onsets (see trace.go).
 	tracer     Tracer
 	inDeadlock bool
+
+	// flightrec, when non-nil, is the armed incident flight recorder
+	// (EnableFlightRecorder, see flightrec.go); it also rides the tracer
+	// chain.
+	flightrec *FlightRecorder
 
 	// tel, when non-nil, receives the simulator's operational metrics:
 	// per-link PFC pause-duration histograms, lossless ingress queue
@@ -354,7 +364,13 @@ func (n *Network) arrive(nodeIdx, port int, pk *packet) {
 	inPrio := n.prioOf(int(pk.tag))
 	newTag := int(pk.tag)
 	if n.rules != nil {
-		newTag = n.rules.Classify(id, int(pk.tag), port, out)
+		if n.flightrec != nil {
+			var rid int
+			newTag, rid = n.rules.ClassifyID(id, int(pk.tag), port, out)
+			pk.rule = int32(rid + 1)
+		} else {
+			newTag = n.rules.Classify(id, int(pk.tag), port, out)
+		}
 	}
 	egPrio := n.prioOf(newTag)
 	if n.legacyEgress && inPrio != 0 {

@@ -31,9 +31,14 @@ func (n *Network) EnableRecovery(interval time.Duration) *RecoveryStats {
 	return stats
 }
 
-// detectCycleQueues is DetectDeadlock returning the raw queue identities.
-func (n *Network) detectCycleQueues() []pausedQueue {
-	var nodes []pausedQueue
+// waitGraph builds the full pause-wait graph: vertices are the paused,
+// non-empty lossless egress queues, and edge x -> y means x cannot
+// drain until queue y (at x's downstream peer, holding packets charged
+// to the ingress x feeds) does. Vertex and adjacency order are
+// deterministic (ascending node, port, priority). Shared by deadlock
+// detection (which wants a cycle) and the flight recorder's incident
+// snapshot (which wants the whole graph).
+func (n *Network) waitGraph() (nodes []pausedQueue, adj [][]int) {
 	index := map[pausedQueue]int{}
 	for ni := range n.nodes {
 		rt := &n.nodes[ni]
@@ -49,9 +54,9 @@ func (n *Network) detectCycleQueues() []pausedQueue {
 		}
 	}
 	if len(nodes) == 0 {
-		return nil
+		return nil, nil
 	}
-	adj := make([][]int, len(nodes))
+	adj = make([][]int, len(nodes))
 	for xi, x := range nodes {
 		art := &n.nodes[x.node]
 		peer := art.ports[x.port].peer
@@ -78,6 +83,15 @@ func (n *Network) detectCycleQueues() []pausedQueue {
 				}
 			}
 		}
+	}
+	return nodes, adj
+}
+
+// detectCycleQueues is DetectDeadlock returning the raw queue identities.
+func (n *Network) detectCycleQueues() []pausedQueue {
+	nodes, adj := n.waitGraph()
+	if nodes == nil {
+		return nil
 	}
 	cycIdx := findIntCycle(adj)
 	if cycIdx == nil {

@@ -20,8 +20,16 @@ import (
 // (a soak's simulator histograms, a controller's deploy counters).
 // Same-name metrics across registries are summed at scrape time.
 func Handler(regs ...*Registry) http.Handler {
+	return HandlerWithPostmortem(nil, regs...)
+}
+
+// HandlerWithPostmortem is Handler plus the flight-recorder forensics
+// routes (/debug/postmortem index, /debug/postmortem/<seq> report) fed
+// from pm. A nil pm serves an empty index.
+func HandlerWithPostmortem(pm PostmortemSource, regs ...*Registry) http.Handler {
 	start := time.Now()
 	mux := http.NewServeMux()
+	servePostmortem(mux, pm)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		merged := NewRegistry()
 		for _, reg := range regs {
@@ -68,11 +76,16 @@ type OpsServer struct {
 // listener is bound, so the caller can print Addr() and curl it
 // immediately.
 func StartOps(addr string, regs ...*Registry) (*OpsServer, error) {
+	return StartOpsWithPostmortem(addr, nil, regs...)
+}
+
+// StartOpsWithPostmortem is StartOps serving the forensics routes too.
+func StartOpsWithPostmortem(addr string, pm PostmortemSource, regs ...*Registry) (*OpsServer, error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: ops listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: Handler(regs...)}
+	srv := &http.Server{Handler: HandlerWithPostmortem(pm, regs...)}
 	go srv.Serve(lis) //nolint:errcheck // Serve returns ErrServerClosed on Close
 	return &OpsServer{srv: srv, lis: lis}, nil
 }

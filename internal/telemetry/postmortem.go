@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// PostmortemEpisode is one captured flight-recorder incident as the
+// ops endpoint serves it: identity plus the rendered forensics report.
+// The telemetry package defines the type (rather than reaching into
+// the simulator) so the ops server stays dependency-free: any layer
+// that captures incidents adapts them to this shape.
+type PostmortemEpisode struct {
+	Seq     int           `json:"seq"`
+	Trigger string        `json:"trigger"`
+	Node    string        `json:"node"`
+	At      time.Duration `json:"-"`
+	// Report is the rendered forensics text, served whole at
+	// /debug/postmortem/<seq> and omitted from the JSON index.
+	Report string `json:"-"`
+}
+
+// PostmortemSource yields the episodes the ops endpoint exposes,
+// newest last. Implementations must be safe for concurrent calls (the
+// HTTP server invokes them from handler goroutines).
+type PostmortemSource interface {
+	PostmortemEpisodes() []PostmortemEpisode
+}
+
+// servePostmortem registers the forensics routes on mux:
+//
+//	/debug/postmortem        JSON index of captured incidents
+//	/debug/postmortem/<seq>  one incident's rendered report (text)
+//
+// A nil src serves an empty index — the routes always exist, so
+// dashboards can probe them without caring whether a recorder is
+// armed.
+func servePostmortem(mux *http.ServeMux, src PostmortemSource) {
+	episodes := func() []PostmortemEpisode {
+		if src == nil {
+			return nil
+		}
+		return src.PostmortemEpisodes()
+	}
+	mux.HandleFunc("/debug/postmortem", func(w http.ResponseWriter, r *http.Request) {
+		eps := episodes()
+		type row struct {
+			PostmortemEpisode
+			At  string `json:"at"`
+			URL string `json:"report_url"`
+		}
+		rows := make([]row, 0, len(eps))
+		for _, ep := range eps {
+			rows = append(rows, row{ep, ep.At.String(),
+				"/debug/postmortem/" + strconv.Itoa(ep.Seq)})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"count":    len(rows),
+			"episodes": rows,
+		})
+	})
+	mux.HandleFunc("/debug/postmortem/", func(w http.ResponseWriter, r *http.Request) {
+		seqStr := strings.TrimPrefix(r.URL.Path, "/debug/postmortem/")
+		seq, err := strconv.Atoi(seqStr)
+		if err != nil {
+			http.Error(w, "bad incident seq", http.StatusBadRequest)
+			return
+		}
+		for _, ep := range episodes() {
+			if ep.Seq == seq {
+				w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+				w.Write([]byte(ep.Report))
+				return
+			}
+		}
+		http.Error(w, "no such incident", http.StatusNotFound)
+	})
+}

@@ -268,3 +268,83 @@ func TestBoundedBatches(t *testing.T) {
 		t.Fatalf("pauses = %d, want %d", sum.Pauses[LinkKey{"A", "B"}], n)
 	}
 }
+
+// TestEpisodeLifecycles pins the deadlock-episode ledger: each onset
+// opens an episode, the first detection samples TTD, and mitigation /
+// recovery-flush / a fresh onset / end-of-trace close it as mitigated,
+// flushed, dissolved and unresolved respectively.
+func TestEpisodeLifecycles(t *testing.T) {
+	traceText := strings.Join([]string{
+		// Episode 1: detected 2µs after onset, mitigated at +5µs.
+		`{"t":1000,"kind":"deadlock","node":"A"}`,
+		`{"t":3000,"kind":"detect","node":"A"}`,
+		`{"t":6000,"kind":"mitigate","node":"A"}`,
+		// Episode 2: never detected, flushed by watchdog recovery.
+		`{"t":10000,"kind":"deadlock","node":"B"}`,
+		`{"t":14000,"kind":"drop","node":"B","flow":"f","reason":"recovery-flush"}`,
+		// Episode 3: dissolved by episode 4's onset.
+		`{"t":20000,"kind":"deadlock","node":"C"}`,
+		// Episode 4: still open when the trace runs out.
+		`{"t":30000,"kind":"deadlock","node":"D"}`,
+		`{"t":31000,"kind":"detect","node":"D"}`,
+	}, "\n")
+	sum, _ := run(t, NewJSONLSource(strings.NewReader(traceText)))
+
+	want := []Episode{
+		{Onset: 1000, Detect: 3000, End: 6000, Resolution: "mitigated"},
+		{Onset: 10000, Detect: -1, End: 14000, Resolution: "flushed"},
+		{Onset: 20000, Detect: -1, End: -1, Resolution: "dissolved"},
+		{Onset: 30000, Detect: 31000, End: -1, Resolution: "unresolved"},
+	}
+	if len(sum.Episodes) != len(want) {
+		t.Fatalf("episodes = %d, want %d: %+v", len(sum.Episodes), len(want), sum.Episodes)
+	}
+	for i, w := range want {
+		if sum.Episodes[i] != w {
+			t.Errorf("episode %d = %+v, want %+v", i+1, sum.Episodes[i], w)
+		}
+	}
+
+	var b strings.Builder
+	sum.Report(&b, 10, 0)
+	for _, line := range []string{
+		"deadlock episodes:",
+		"mitigated",
+		"flushed",
+		"dissolved",
+		"unresolved (open since 30µs)",
+		"1 episode(s) still open at end of trace: the run ended deadlocked",
+	} {
+		if !strings.Contains(b.String(), line) {
+			t.Errorf("report missing %q:\n%s", line, b.String())
+		}
+	}
+}
+
+// TestEpisodeTableAbsentWhenClean: traces without deadlock events render
+// no episode table, so pre-existing goldens for clean runs are
+// untouched.
+func TestEpisodeTableAbsentWhenClean(t *testing.T) {
+	sum, _ := run(t, NewJSONLSource(strings.NewReader(
+		`{"t":5,"kind":"pause","node":"A","peer":"B","prio":2}`+"\n")))
+	var b strings.Builder
+	sum.Report(&b, 10, 0)
+	if strings.Contains(b.String(), "episode") {
+		t.Errorf("clean trace must not render an episode table:\n%s", b.String())
+	}
+}
+
+// TestEpisodeUnresolvedWithoutClose: a report rendered without Close
+// (library callers folding batches by hand) still seals the open
+// episode as unresolved.
+func TestEpisodeUnresolvedWithoutClose(t *testing.T) {
+	sum := NewSummary()
+	if err := sum.Consume([]trace.Event{{T: 500, Kind: "deadlock", Node: "A"}}); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	sum.Report(&b, 10, 0)
+	if len(sum.Episodes) != 1 || sum.Episodes[0].Resolution != "unresolved" {
+		t.Fatalf("episodes = %+v, want one unresolved", sum.Episodes)
+	}
+}

@@ -52,7 +52,27 @@ type Summary struct {
 	// Mitigations counts detector mitigation sweeps (the packets they
 	// dropped show up under DropByReason["mitigate"]).
 	Mitigations int
-	LastT       int64
+	// Episodes is each deadlock's lifecycle in onset order: when it
+	// formed, when (if ever) the detector saw it, and how it ended. An
+	// episode still open when the trace runs out is reported unresolved
+	// rather than dropped — a deadlock the run never cleared is the
+	// finding, not noise.
+	Episodes []Episode
+	openEp   int // index into Episodes of the open one, -1 if none
+	sealed   bool
+	LastT    int64
+}
+
+// Episode is one deadlock's observed lifecycle.
+type Episode struct {
+	Onset  int64 // simulated ns of the deadlock event
+	Detect int64 // first in-switch detection after onset, -1 if never
+	End    int64 // simulated ns of the resolving event, -1 if none
+	// Resolution is how the episode closed: "mitigated" (detector
+	// sweep), "flushed" (watchdog recovery flush), "dissolved" (a new
+	// onset arrived, so the prior cycle's end was never observed), or
+	// "unresolved" (still open at end of trace).
+	Resolution string
 }
 
 // NewSummary returns an empty summary sink.
@@ -67,6 +87,7 @@ func NewSummary() *Summary {
 		DropByFlow:    map[string]int{},
 		FirstDeadlock: -1,
 		FirstDetect:   -1,
+		openEp:        -1,
 	}
 }
 
@@ -78,9 +99,37 @@ func (s *Summary) Consume(batch []trace.Event) error {
 	return nil
 }
 
-// Close implements Sink (a summary needs no finalization; open pause
-// intervals are deliberately left unobserved).
-func (s *Summary) Close() error { return nil }
+// Close implements Sink: an episode still open seals as unresolved
+// (open pause intervals are deliberately left unobserved).
+func (s *Summary) Close() error {
+	s.seal()
+	return nil
+}
+
+// seal marks a still-open deadlock episode unresolved. Idempotent, and
+// also invoked from ReportDiag so a report rendered without Close is
+// consistent.
+func (s *Summary) seal() {
+	if s.sealed {
+		return
+	}
+	s.sealed = true
+	if s.openEp >= 0 {
+		s.Episodes[s.openEp].Resolution = "unresolved"
+		s.openEp = -1
+	}
+}
+
+// closeEpisode seals the open episode with the given resolution.
+func (s *Summary) closeEpisode(t int64, resolution string) {
+	if s.openEp < 0 {
+		return
+	}
+	ep := &s.Episodes[s.openEp]
+	ep.End = t
+	ep.Resolution = resolution
+	s.openEp = -1
+}
 
 func (s *Summary) observe(ev *trace.Event) {
 	s.Events++
@@ -109,6 +158,9 @@ func (s *Summary) observe(ev *trace.Event) {
 	case "drop":
 		s.DropByReason[ev.Reason]++
 		s.DropByFlow[ev.Flow]++
+		if ev.Reason == "recovery-flush" {
+			s.closeEpisode(ev.T, "flushed")
+		}
 	case "demote":
 		s.Demotes++
 	case "deadlock":
@@ -117,13 +169,23 @@ func (s *Summary) observe(ev *trace.Event) {
 			s.FirstDeadlock = ev.T
 			s.FirstCycle = ev.Cycle
 		}
+		// A fresh onset while one is open means the prior cycle's end
+		// was never observed: it dissolved (or re-formed) between
+		// events, so its TTR is unknowable, not zero.
+		s.closeEpisode(-1, "dissolved")
+		s.Episodes = append(s.Episodes, Episode{Onset: ev.T, Detect: -1, End: -1})
+		s.openEp = len(s.Episodes) - 1
 	case "detect":
 		s.Detects++
 		if s.FirstDetect < 0 {
 			s.FirstDetect = ev.T
 		}
+		if s.openEp >= 0 && s.Episodes[s.openEp].Detect < 0 {
+			s.Episodes[s.openEp].Detect = ev.T
+		}
 	case "mitigate":
 		s.Mitigations++
+		s.closeEpisode(ev.T, "mitigated")
 	}
 }
 
@@ -159,6 +221,7 @@ func (s *Summary) Report(w io.Writer, top int, skipped int64) {
 // Every diagnostic line is conditional, so a clean trace renders
 // byte-identically to the pre-Diag format.
 func (s *Summary) ReportDiag(w io.Writer, top int, d Diag) {
+	s.seal()
 	fmt.Fprintf(w, "%d events over %v of simulated time", s.Events, time.Duration(s.LastT))
 	if d.Skipped > 0 {
 		fmt.Fprintf(w, " (%d malformed lines skipped)", d.Skipped)
@@ -179,6 +242,31 @@ func (s *Summary) ReportDiag(w io.Writer, top int, d Diag) {
 	if s.Detects > 0 {
 		fmt.Fprintf(w, "in-switch detections: %d (first at %v), mitigation sweeps: %d\n\n",
 			s.Detects, time.Duration(s.FirstDetect), s.Mitigations)
+	}
+
+	if len(s.Episodes) > 0 {
+		et := metrics.NewTable("Episode", "Onset", "TTD", "TTR", "Resolution")
+		unresolved := 0
+		for i, ep := range s.Episodes {
+			ttd, ttr := "-", "-"
+			if ep.Detect >= 0 {
+				ttd = time.Duration(ep.Detect - ep.Onset).String()
+			}
+			if ep.End >= 0 {
+				ttr = time.Duration(ep.End - ep.Onset).String()
+			}
+			res := ep.Resolution
+			if res == "unresolved" {
+				unresolved++
+				res = fmt.Sprintf("unresolved (open since %v)", time.Duration(ep.Onset))
+			}
+			et.AddRow(i+1, time.Duration(ep.Onset), ttd, ttr, res)
+		}
+		fmt.Fprintf(w, "deadlock episodes:\n%s", et.String())
+		if unresolved > 0 {
+			fmt.Fprintf(w, "%d episode(s) still open at end of trace: the run ended deadlocked\n", unresolved)
+		}
+		fmt.Fprintln(w)
 	}
 
 	type row struct {

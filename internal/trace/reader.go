@@ -28,6 +28,9 @@ type Reader struct {
 	alien     int64
 	truncated bool
 
+	// snap accumulates flight-recorder snapshot records (snapshot.go).
+	snap *Snapshot
+
 	buf [EntrySize]byte
 }
 
@@ -150,6 +153,9 @@ func (r *Reader) Next() (Event, error) {
 			}, nil
 		case KindDeadlock:
 			return r.readDeadlock(e)
+		case KindSnapStart, KindWaitQueue, KindWaitEdge, KindQueueState,
+			KindRuleDef, KindRuleMatch, KindDetTag, KindSnapEnd:
+			r.foldSnap(e)
 		default:
 			// Unknown kinds and orphaned cycle edges: skip, count, go on.
 			if e.Kind >= kindMax {

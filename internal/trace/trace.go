@@ -87,6 +87,22 @@ const (
 	// prio = origin priority, depth = bytes swept).
 	KindMitigate
 
+	// Flight-recorder snapshot kinds (snapshot.go, flight.go): the state
+	// a frozen recorder appends after the event window of an incident
+	// capture. All are single 32-byte slots, so a reader that predates
+	// them stays in sync while skip-and-counting them as alien kinds —
+	// additive, Version stays 1. Like KindStrDef and KindCycleEdge they
+	// are structural: the reader folds them into Reader.Snapshot and
+	// never yields them as events.
+	KindSnapStart
+	KindWaitQueue
+	KindWaitEdge
+	KindQueueState
+	KindRuleDef
+	KindRuleMatch
+	KindDetTag
+	KindSnapEnd
+
 	kindMax // one past the last valid kind
 )
 

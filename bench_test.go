@@ -19,6 +19,7 @@ import (
 	"repro/internal/paper"
 	"repro/internal/routing"
 	"repro/internal/sim"
+	"repro/internal/synthcache"
 	"repro/internal/tcam"
 	"repro/internal/topology"
 	"repro/internal/trace"
@@ -583,5 +584,169 @@ func BenchmarkSimulatorPacketRate(b *testing.B) {
 		n := NewSimulation(c.Graph, tb, DefaultSimConfig())
 		n.AddFlow(FlowSpec{Name: "x", Src: c.Hosts[0], Dst: c.Hosts[8]})
 		n.Run(5_000_000) // 5 ms of simulated 40G traffic
+	}
+}
+
+// --- Synthesis cache: warm hits and pod memoization ---------------------------
+
+// synthCacheJellyfish builds the Jellyfish200 workload the cache
+// benchmarks share: the fabric and its 1-shortest-path ELP.
+func synthCacheJellyfish(tb testing.TB) (*topology.Jellyfish, []routing.Path) {
+	tb.Helper()
+	j, err := topology.NewJellyfish(topology.JellyfishConfig{Switches: 200, Ports: 24, Seed: 1})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return j, elp.ShortestAllN(j.Graph, j.Switches, 1).Paths()
+}
+
+// BenchmarkSynthCacheCold is the baseline for the warm-hit claim: every
+// iteration pays the full pipeline on a fresh cache — canonicalization,
+// Algorithms 1+2, TCAM compilation.
+func BenchmarkSynthCacheCold(b *testing.B) {
+	j, paths := synthCacheJellyfish(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cache := synthcache.New(8)
+		if _, err := cache.Synthesize(j.Graph, paths, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSynthCacheWarm times the steady state a long-lived controller
+// or sweep sees: the same (topology, ELP) request answered from the
+// cache. Pair with BenchmarkSynthCacheCold for the ≥50x tentpole ratio
+// (gated in-suite by TestSynthCacheWarmSpeedup).
+func BenchmarkSynthCacheWarm(b *testing.B) {
+	j, paths := synthCacheJellyfish(b)
+	cache := synthcache.New(8)
+	if _, err := cache.Synthesize(j.Graph, paths, core.Options{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := cache.Synthesize(j.Graph, paths, core.Options{})
+		if err != nil || !r.Hit {
+			b.Fatalf("warm request missed (hit=%v err=%v)", r.Hit, err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(cache.Stats().HitRatio(), "hit-ratio")
+}
+
+// BenchmarkFatTreeSynthFromScratch is the cold baseline for pod
+// memoization: full KBounce enumeration over every pod pair of a k=8
+// fat-tree (5.2M paths) plus Clos rule synthesis and replay. k=16 (the
+// paper's largest) is infeasible here — enumeration alone is hours —
+// which is exactly the motivation for stamping.
+func BenchmarkFatTreeSynthFromScratch(b *testing.B) {
+	ft, err := topology.NewFatTree(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		set := elp.KBounce(ft.Graph, ft.Edges, 1, nil)
+		if _, err := core.ClosSynthesize(ft.Graph, set.Paths(), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFatTreePodMemoized builds the same system via
+// representative-pod stamping: one pod pair enumerated and replayed, the
+// other 54 ordered pairs stamped by pod-permutation automorphisms
+// (rule-identical — see make cache-fuzz). Each iteration uses a fresh
+// cache so it times the memoized BUILD, not a warm hit.
+func BenchmarkFatTreePodMemoized(b *testing.B) {
+	ft, err := topology.NewFatTree(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cache := synthcache.New(8)
+		r, err := cache.ClosKBounce(ft.Graph, ft.Edges, 1)
+		if err != nil || !r.PodMemoized {
+			b.Fatalf("pod stamping not used (memoized=%v err=%v)", r.PodMemoized, err)
+		}
+	}
+}
+
+// TestSynthCacheWarmSpeedup gates the tentpole claim in-suite: a warm
+// cache hit on Jellyfish200 must be at least 50x faster than cold
+// synthesis (in practice orders of magnitude — the warm path is two map
+// lookups and a hash of the option key).
+func TestSynthCacheWarmSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing gate skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("timing gate skipped under the race detector")
+	}
+	j, paths := synthCacheJellyfish(t)
+	cache := synthcache.New(8)
+	start := time.Now()
+	if _, err := cache.Synthesize(j.Graph, paths, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	cold := time.Since(start)
+
+	const iters = 200
+	warm := time.Duration(1<<63 - 1)
+	for round := 0; round < 3; round++ {
+		start = time.Now()
+		for i := 0; i < iters; i++ {
+			r, err := cache.Synthesize(j.Graph, paths, core.Options{})
+			if err != nil || !r.Hit {
+				t.Fatalf("warm request missed (hit=%v err=%v)", r.Hit, err)
+			}
+		}
+		if d := time.Since(start) / iters; d < warm {
+			warm = d
+		}
+	}
+	if ratio := float64(cold) / float64(warm); ratio < 50 {
+		t.Errorf("warm cache speedup %.1fx, want >= 50x (cold %v, warm %v)", ratio, cold, warm)
+	}
+}
+
+// TestFatTreePodMemoizedSpeedup gates the pod-memoization claim: the
+// stamped k=8 fat-tree build must be at least 4x faster than from
+// scratch (measured ~6-12x: the representative pair still pays its own
+// enumeration and replay).
+func TestFatTreePodMemoizedSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing gate skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("timing gate skipped under the race detector")
+	}
+	ft, err := topology.NewFatTree(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	set := elp.KBounce(ft.Graph, ft.Edges, 1, nil)
+	if _, err := core.ClosSynthesize(ft.Graph, set.Paths(), 1); err != nil {
+		t.Fatal(err)
+	}
+	scratch := time.Since(start)
+
+	memo := time.Duration(1<<63 - 1)
+	for round := 0; round < 2; round++ {
+		cache := synthcache.New(8)
+		start = time.Now()
+		r, err := cache.ClosKBounce(ft.Graph, ft.Edges, 1)
+		if err != nil || !r.PodMemoized {
+			t.Fatalf("pod stamping not used (memoized=%v err=%v)", r.PodMemoized, err)
+		}
+		if d := time.Since(start); d < memo {
+			memo = d
+		}
+	}
+	if ratio := float64(scratch) / float64(memo); ratio < 4 {
+		t.Errorf("pod-memoized speedup %.1fx, want >= 4x (scratch %v, memoized %v)", ratio, scratch, memo)
 	}
 }

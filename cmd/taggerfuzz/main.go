@@ -11,11 +11,19 @@
 //	taggerfuzz -seeds 200 -topo all -par 8
 //	taggerfuzz -topo jellyfish -seed 1337 -seeds 1   # replay one seed
 //	taggerfuzz -churn -seeds 250 -par 8              # churn differential
+//	taggerfuzz -cache -seeds 100 -par 8              # synthesis-cache differential
 //
 // With -churn the battery switches to the fabric-churn differential:
 // each seed drives a random link-flap/drain/pod-add sequence through the
 // incremental re-synthesis engine and demands rule-for-rule equality
 // with from-scratch synthesis after every event (plus the §5.1 oracle).
+//
+// With -cache every seed's synthesis goes through ONE shared
+// fingerprint-keyed cache (internal/synthcache) — cold builds,
+// same-instance re-requests, and isomorphic twin instances — and each
+// answer must be rule-for-rule identical to from-scratch synthesis and
+// pass the oracle. Running seeds in parallel against the shared cache
+// also exercises the single-flight and eviction paths under contention.
 //
 // The seed sweep fans across -par workers (runs are independent; verdicts
 // and repro output are reported in seed order, so -par never changes what
@@ -34,6 +42,7 @@ import (
 
 	"repro/internal/check"
 	"repro/internal/sweep"
+	"repro/internal/synthcache"
 	"repro/internal/telemetry/profile"
 )
 
@@ -47,6 +56,7 @@ func main() {
 		quiet = flag.Bool("q", false, "only report failures and the final tally")
 		par   = flag.Int("par", 0, "sweep worker count (0 = GOMAXPROCS, 1 = serial)")
 		churn = flag.Bool("churn", false, "run the churn differential (incremental vs from-scratch synthesis)")
+		cfuzz = flag.Bool("cache", false, "run the synthesis-cache differential (cached/stamped vs from-scratch synthesis)")
 	)
 	prof := profile.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -66,6 +76,9 @@ func main() {
 	if *churn {
 		topos = check.ChurnTopos()
 	}
+	if *cfuzz {
+		topos = check.CacheTopos()
+	}
 	if *topo != "all" {
 		found := false
 		for _, t := range topos {
@@ -80,9 +93,12 @@ func main() {
 	}
 
 	failures := 0
-	if *churn {
+	switch {
+	case *churn:
 		failures = runChurn(topos, *base, *seeds, *par, *quiet, *out)
-	} else {
+	case *cfuzz:
+		failures = runCache(topos, *base, *seeds, *par, *quiet)
+	default:
 		failures = runBattery(topos, *base, *seeds, *par, *quiet, *out)
 	}
 
@@ -183,6 +199,43 @@ func runChurn(topos []string, base int64, seeds, par int, quiet bool, out string
 			}
 		}
 	}
+	return failures
+}
+
+// runCache sweeps the synthesis-cache differential. One cache is shared
+// across every seed AND every sweep worker, so parallel runs also stress
+// the single-flight and LRU-eviction machinery; the per-case verdict is
+// deterministic regardless (every tier must match from-scratch). Cache
+// cases are cheap and fully determined by (topo, seed), so failures are
+// reported directly without the shrink/repro pipeline.
+func runCache(topos []string, base int64, seeds, par int, quiet bool) int {
+	type verdict struct {
+		c   check.CacheCase
+		err error
+	}
+	cache := synthcache.New(48)
+	failures := 0
+	for _, t := range topos {
+		t := t
+		verdicts, _ := sweep.Run(sweep.Seeds(base, seeds), par,
+			func(seed int64) (verdict, error) {
+				c := check.GenCacheCase(t, seed)
+				return verdict{c: c, err: check.RunCacheCase(c, cache)}, nil
+			})
+		for _, v := range verdicts {
+			if v.err == nil {
+				if !quiet {
+					fmt.Printf("ok   %s\n", v.c)
+				}
+				continue
+			}
+			failures++
+			fmt.Printf("FAIL %s\n     %v\n", v.c, v.err)
+		}
+	}
+	st := cache.Stats()
+	fmt.Printf("taggerfuzz: cache stats: %d hits / %d misses (ratio %.2f), %d translated, %d pod-stamped, %d evictions, %d single-flight waits\n",
+		st.Hits, st.Misses, st.HitRatio(), st.Translated, st.PodStamped, st.Evictions, st.SingleFlightWait)
 	return failures
 }
 

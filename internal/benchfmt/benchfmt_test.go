@@ -194,3 +194,31 @@ func TestDedupe(t *testing.T) {
 		t.Error("Dedupe on a unique snapshot must be a no-op")
 	}
 }
+
+// TestDedupeSingleIterationSamples is the `make bench BENCHTIME=1x` shape
+// that motivated min-of-N gating: every repeated run reports n=1
+// iterations, so each sample is a single raw measurement with full
+// scheduler/GC noise on it. Dedupe must still collapse the repeats to the
+// fastest sample (keeping its n=1 honest, not summing counts), and a
+// snapshot where each name appears exactly once — a -count 1 run — must
+// pass through unchanged.
+func TestDedupeSingleIterationSamples(t *testing.T) {
+	f := &File{Benchmarks: []Benchmark{
+		{Name: "BenchmarkSynth", N: 1, NsPerOp: 9_800_000},
+		{Name: "BenchmarkSynth", N: 1, NsPerOp: 7_100_000},
+		{Name: "BenchmarkSynth", N: 1, NsPerOp: 8_300_000},
+	}}
+	f.Dedupe()
+	if len(f.Benchmarks) != 1 {
+		t.Fatalf("got %d benchmarks, want 1: %+v", len(f.Benchmarks), f.Benchmarks)
+	}
+	if b := f.Benchmarks[0]; b.NsPerOp != 7_100_000 || b.N != 1 {
+		t.Errorf("kept %+v, want the fastest n=1 sample at 7.1ms", b)
+	}
+
+	single := &File{Benchmarks: []Benchmark{{Name: "BenchmarkOnce", N: 1, NsPerOp: 42}}}
+	single.Dedupe()
+	if len(single.Benchmarks) != 1 || single.Benchmarks[0].NsPerOp != 42 {
+		t.Errorf("n=1 single-sample snapshot changed: %+v", single.Benchmarks)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/deploy"
 	"repro/internal/elp"
 	"repro/internal/routing"
+	"repro/internal/synthcache"
 	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
@@ -83,7 +84,14 @@ func NewChurn(g *topology.Graph, policy ELPPolicy, opts ...Option) (*Controller,
 		o(ctl)
 	}
 	set := policy(g)
-	rs, err := core.NewResynth(g, set.Paths(), core.Options{})
+	// With a synthesis cache attached, the initial build and every
+	// rebuild() fallback go through it (NewResynthFull hook); cached
+	// systems are shared read-only and rule-identical to fresh ones.
+	var fullSynth func(*topology.Graph, []routing.Path, core.Options) (*core.System, error)
+	if ctl.synthCache != nil {
+		fullSynth = synthcache.FullSynth(ctl.synthCache)
+	}
+	rs, err := core.NewResynthFull(g, set.Paths(), core.Options{}, fullSynth)
 	if err != nil {
 		return nil, fmt.Errorf("controller: synthesis failed: %w", err)
 	}
@@ -293,7 +301,15 @@ func (c *Controller) pushDelta(newBundle *deploy.Bundle) (DeltaStats, error) {
 // table, so each retry is a clean re-application — a partial write never
 // compounds.
 func (c *Controller) patchVerify(da DeltaAgent, sw string, delta deploy.SwitchDiff, want deploy.SwitchBundle) error {
-	maxTries := c.deployCfg.MaxAttempts
+	x := c.rpc()
+	err := x.patchVerify(da, sw, delta, want)
+	c.absorb(x)
+	return err
+}
+
+// patchVerify is the rpcCtx body of Controller.patchVerify.
+func (x *rpcCtx) patchVerify(da DeltaAgent, sw string, delta deploy.SwitchDiff, want deploy.SwitchBundle) error {
+	maxTries := x.cfg.MaxAttempts
 	if maxTries < 1 {
 		maxTries = 1
 	}
@@ -302,36 +318,36 @@ func (c *Controller) patchVerify(da DeltaAgent, sw string, delta deploy.SwitchDi
 		op := OpPatch
 		err = da.Patch(sw, delta)
 		if err == nil {
-			c.auditRecord(sw, OpPatch, try, nil, 0)
+			x.auditRecord(sw, OpPatch, try, nil, 0)
 			op = OpVerify
 			var got deploy.SwitchBundle
 			got, err = da.Fetch(sw)
 			if err == nil && !sameRules(got.Rules, want.Rules) {
 				err = fmt.Errorf("staged delta mismatch: %d/%d rules landed", len(got.Rules), len(want.Rules))
-				c.tel.Counter("deploy.partial_detected").Inc()
+				x.tel.Counter("deploy.partial_detected").Inc()
 			}
 			if err == nil {
-				c.auditRecord(sw, OpVerify, try, nil, 0)
-				c.tel.Gauge("deploy_last_attempts", "switch", sw, "op", OpPatch).Set(float64(try))
+				x.auditRecord(sw, OpVerify, try, nil, 0)
+				x.tel.Gauge("deploy_last_attempts", "switch", sw, "op", OpPatch).Set(float64(try))
 				if try > 1 {
-					c.tel.Counter("deploy_retries_total", "switch", sw).Add(int64(try - 1))
+					x.tel.Counter("deploy_retries_total", "switch", sw).Add(int64(try - 1))
 				}
 				return nil
 			}
 		}
 		var backoff time.Duration
 		if try < maxTries {
-			backoff = c.backoffFor(try)
-			c.tel.Counter("deploy.backoff_ns").Add(int64(backoff))
-			if c.deployCfg.Sleep != nil {
-				c.deployCfg.Sleep(backoff)
+			backoff = x.backoffFor(try)
+			x.tel.Counter("deploy.backoff_ns").Add(int64(backoff))
+			if x.cfg.Sleep != nil {
+				x.cfg.Sleep(backoff)
 			}
 		}
-		c.auditRecord(sw, op, try, err, backoff)
+		x.auditRecord(sw, op, try, err, backoff)
 	}
-	c.tel.Counter("deploy.gave_up").Inc()
-	c.tel.Gauge("deploy_last_attempts", "switch", sw, "op", OpPatch).Set(float64(maxTries))
-	c.tel.Counter("deploy_retries_total", "switch", sw).Add(int64(maxTries - 1))
+	x.tel.Counter("deploy.gave_up").Inc()
+	x.tel.Gauge("deploy_last_attempts", "switch", sw, "op", OpPatch).Set(float64(maxTries))
+	x.tel.Counter("deploy_retries_total", "switch", sw).Add(int64(maxTries - 1))
 	return fmt.Errorf("controller: patch on %s failed after %d attempts: %w", sw, maxTries, err)
 }
 

@@ -28,6 +28,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/deploy"
 	"repro/internal/elp"
+	"repro/internal/synthcache"
 	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
@@ -148,6 +149,13 @@ type Controller struct {
 	tracker  *elp.Tracker
 	deltaLog []DeltaStats
 	known    map[string]bool
+	// synthCache, when set (WithSynthCache), memoizes full synthesis:
+	// fresh deploys, expansion resyncs and churn rebuild fallbacks hit
+	// the cache instead of re-running synthesis on topologies it has
+	// already seen. Cached systems are rule-identical to fresh ones, so
+	// deployment behavior is unchanged.
+	synthCache *synthcache.Cache
+
 	// tel receives the deployment metrics (deploy.* counters, per-switch
 	// retry/rollback gauges) and the push-pipeline spans. Each controller
 	// gets its own registry by default so Counters() stays deterministic
@@ -181,8 +189,20 @@ func WithTelemetry(reg *telemetry.Registry) Option {
 	return func(c *Controller) { c.tel = reg }
 }
 
-func newController(g *topology.Graph, policy ELPPolicy,
-	synth func(*topology.Graph, *elp.Set) (*core.System, error), opts []Option) (*Controller, error) {
+// WithSynthCache routes the controller's synthesis through the given
+// cache. Sharing one cache across controllers (or across rebuilds of the
+// same fabric) turns repeated synthesis of an already-seen topology into
+// a lookup; correctness is unchanged because cached systems are
+// rule-identical to from-scratch synthesis (see internal/synthcache).
+func WithSynthCache(cache *synthcache.Cache) Option {
+	return func(c *Controller) { c.synthCache = cache }
+}
+
+// synthFunc builds a system from the policy's ELP over the current graph.
+type synthFunc = func(*topology.Graph, *elp.Set) (*core.System, error)
+
+func newController(g *topology.Graph, policy ELPPolicy, synth synthFunc,
+	cached func(*synthcache.Cache) synthFunc, opts []Option) (*Controller, error) {
 	ctl := &Controller{
 		g:         g,
 		policy:    policy,
@@ -194,6 +214,9 @@ func newController(g *topology.Graph, policy ELPPolicy,
 	ctl.jitter = newJitter(ctl.deployCfg.JitterSeed)
 	for _, o := range opts {
 		o(ctl)
+	}
+	if ctl.synthCache != nil && cached != nil {
+		ctl.synth = cached(ctl.synthCache)
 	}
 	if err := ctl.resync(); err != nil {
 		return nil, err
@@ -208,6 +231,15 @@ func NewClos(c *topology.Clos, k int, opts ...Option) (*Controller, error) {
 		KBouncePolicy(func() []topology.NodeID { return c.ToRs }, k),
 		func(g *topology.Graph, s *elp.Set) (*core.System, error) {
 			return core.ClosSynthesize(g, s.Paths(), k)
+		},
+		func(cache *synthcache.Cache) synthFunc {
+			return func(g *topology.Graph, s *elp.Set) (*core.System, error) {
+				r, err := cache.SynthesizeClos(g, s.Paths(), k)
+				if err != nil {
+					return nil, err
+				}
+				return r.Sys, nil
+			}
 		}, opts)
 }
 
@@ -217,6 +249,15 @@ func NewGeneric(g *topology.Graph, policy ELPPolicy, opts ...Option) (*Controlle
 	return newController(g, policy,
 		func(g *topology.Graph, s *elp.Set) (*core.System, error) {
 			return core.Synthesize(g, s.Paths(), core.Options{})
+		},
+		func(cache *synthcache.Cache) synthFunc {
+			return func(g *topology.Graph, s *elp.Set) (*core.System, error) {
+				r, err := cache.Synthesize(g, s.Paths(), core.Options{})
+				if err != nil {
+					return nil, err
+				}
+				return r.Sys, nil
+			}
 		}, opts)
 }
 

@@ -1,0 +1,71 @@
+package controller
+
+import (
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/paper"
+	"repro/internal/synthcache"
+	"repro/internal/topology"
+)
+
+// TestControllerSharesSynthCache: two controllers over one fabric and
+// one cache — the second's initial deploy is served from the first's
+// synthesis, and both run rule-for-rule identical systems.
+func TestControllerSharesSynthCache(t *testing.T) {
+	c := paper.Testbed()
+	cache := synthcache.New(8)
+	ctl1, err := NewClos(c, 1, WithSynthCache(cache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := cache.Stats(); st.Misses == 0 {
+		t.Fatal("first controller did not synthesize through the cache")
+	}
+	ctl2, err := NewClos(c, 1, WithSynthCache(cache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := cache.Stats(); st.Hits == 0 {
+		t.Fatalf("second controller missed the warm cache: %+v", st)
+	}
+	if diffs := check.DiffRulesets(ctl1.System().Rules, ctl2.System().Rules); len(diffs) != 0 {
+		t.Fatalf("cached controller diverged: %d rule diffs", len(diffs))
+	}
+	if err := check.VerifySystem(ctl2.System()); err != nil {
+		t.Fatalf("cache-served system fails the oracle: %v", err)
+	}
+}
+
+// TestChurnControllerFullRebuildHitsCache: the churn engine's
+// full-rebuild fallback routes through the cache via the
+// NewResynthFull hook, so a rebuild on previously-seen state is a hit.
+func TestChurnControllerFullRebuildHitsCache(t *testing.T) {
+	c := paper.Testbed()
+	cache := synthcache.New(8)
+	ctl, err := NewChurn(c.Graph, KBouncePolicy(func() []topology.NodeID { return c.ToRs }, 1), WithSynthCache(cache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := cache.Stats(); st.Misses == 0 {
+		t.Fatal("churn controller's initial build bypassed the cache")
+	}
+	// Drive a flap cycle; whether the engine patches incrementally or
+	// falls back to full rebuild, the system must stay oracle-clean and
+	// the cache must never serve a wrong-shaped system.
+	a, b := c.Graph.MustLookup("L1"), c.Graph.MustLookup("T1")
+	for i := 0; i < 3; i++ {
+		if err := ctl.Handle(Event{Kind: EventLinkDown, A: a, B: b}); err != nil {
+			t.Fatal(err)
+		}
+		if err := ctl.Handle(Event{Kind: EventLinkUp, A: a, B: b}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := check.VerifySystem(ctl.System()); err != nil {
+		t.Fatalf("post-churn system fails the oracle: %v", err)
+	}
+	if ctl.System().Graph != c.Graph {
+		t.Fatal("controller system bound to the wrong graph")
+	}
+}

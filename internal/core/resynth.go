@@ -246,12 +246,12 @@ type Resynth struct {
 	byKey     map[uint64]int32
 	byKeyOver map[uint64][]int32
 	list      []rsPath
-	paths []routing.Path // per-slot path, parallel to list
-	lives []bool         // per-slot liveness, parallel to list
-	dead  int            // parked slot count
-	bf    refGraph
-	run   refGraph
-	sys   *System
+	paths     []routing.Path // per-slot path, parallel to list
+	lives     []bool         // per-slot liveness, parallel to list
+	dead      int            // parked slot count
+	bf        refGraph
+	run       refGraph
+	sys       *System
 
 	// keyIdx maps each consulted rule key to the slots that consulted it,
 	// as packed idx<<32|ver entries. Parked slots keep their entries
@@ -270,6 +270,12 @@ type Resynth struct {
 	remBuf    [][]uint32
 	addBuf    []int
 	affectBuf []int
+
+	// fullSynth, when non-nil, replaces the direct Synthesize calls the
+	// initial build and the rebuild() fallback make — the synthesis cache
+	// (internal/synthcache) hooks in here so churn controllers reuse
+	// cached systems instead of re-running Algorithms 1+2.
+	fullSynth func(g *topology.Graph, paths []routing.Path, opts Options) (*System, error)
 
 	broken bool
 }
@@ -328,6 +334,20 @@ func (r *Resynth) insert(idx int) {
 // incremental state tracking it. Duplicate paths (by Key) are dropped,
 // matching elp.Set semantics.
 func NewResynth(g *topology.Graph, paths []routing.Path, opts Options) (*Resynth, error) {
+	return NewResynthFull(g, paths, opts, nil)
+}
+
+// NewResynthFull is NewResynth with an explicit full-synthesis function:
+// fn replaces every from-scratch Synthesize call (the initial build here
+// and the rebuild() fallback), and must be observably equivalent to
+// Synthesize — the synthesis cache qualifies because cached systems are
+// rule-identical to fresh ones. A nil fn means plain Synthesize.
+//
+// The systems fn returns may be shared with other consumers: Resynth
+// never mutates a system it was handed — incremental application always
+// constructs fresh System values.
+func NewResynthFull(g *topology.Graph, paths []routing.Path, opts Options,
+	fn func(*topology.Graph, []routing.Path, Options) (*System, error)) (*Resynth, error) {
 	if opts.StartTag == 0 {
 		opts.StartTag = 1
 	}
@@ -342,15 +362,24 @@ func NewResynth(g *topology.Graph, paths []routing.Path, opts Options) (*Resynth
 			deduped = append(deduped, p)
 		}
 	}
-	sys, err := Synthesize(g, deduped, opts)
+	r := &Resynth{g: g, opts: opts, fullSynth: fn}
+	sys, err := r.synthesize(deduped)
 	if err != nil {
 		return nil, err
 	}
-	r := &Resynth{g: g, opts: opts}
 	if err := r.initFrom(sys); err != nil {
 		return nil, err
 	}
 	return r, nil
+}
+
+// synthesize runs the full-synthesis function (the hook if installed,
+// plain Synthesize otherwise).
+func (r *Resynth) synthesize(paths []routing.Path) (*System, error) {
+	if r.fullSynth != nil {
+		return r.fullSynth(r.g, paths, r.opts)
+	}
+	return Synthesize(r.g, paths, r.opts)
 }
 
 // initFrom rebuilds the entire incremental state (path index, refcounted
@@ -456,7 +485,7 @@ func (r *Resynth) activePaths() []routing.Path {
 // construction, O(fabric).
 func (r *Resynth) rebuild() (*System, error) {
 	telemetry.Default.Counter("resynth_full_rebuilds_total").Inc()
-	sys, err := Synthesize(r.g, r.activePaths(), r.opts)
+	sys, err := r.synthesize(r.activePaths())
 	if err != nil {
 		r.broken = true
 		return nil, err

@@ -1,0 +1,48 @@
+package deploy
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestGroupIdenticalPartitionsByContent(t *testing.T) {
+	b := &Bundle{Switches: map[string]SwitchBundle{
+		// s1 and s3 share a rule set modulo order; s2 differs; s4 is empty.
+		"s1": {Rules: []RuleJSON{{Tag: 1, In: 1, Out: 2, NewTag: 1}, {Tag: 2, In: 2, Out: 1, NewTag: 2}}},
+		"s3": {Rules: []RuleJSON{{Tag: 2, In: 2, Out: 1, NewTag: 2}, {Tag: 1, In: 1, Out: 2, NewTag: 1}}},
+		"s2": {Rules: []RuleJSON{{Tag: 1, In: 1, Out: 2, NewTag: 9}}},
+		"s4": {},
+	}}
+	groups := GroupIdentical(b, []string{"s4", "s3", "s2", "s1"})
+	if len(groups) != 3 {
+		t.Fatalf("groups = %d, want 3: %+v", len(groups), groups)
+	}
+	// Ordered by smallest member name; members sorted.
+	want := [][]string{{"s1", "s3"}, {"s2"}, {"s4"}}
+	for i, gr := range groups {
+		if !reflect.DeepEqual(gr.Switches, want[i]) {
+			t.Errorf("group %d = %v, want %v", i, gr.Switches, want[i])
+		}
+	}
+	if groups[0].Rules != 2 || groups[1].Rules != 1 || groups[2].Rules != 0 {
+		t.Errorf("rule counts = %d/%d/%d, want 2/1/0",
+			groups[0].Rules, groups[1].Rules, groups[2].Rules)
+	}
+}
+
+func TestGroupIdenticalDeterministic(t *testing.T) {
+	b := &Bundle{Switches: map[string]SwitchBundle{}}
+	var names []string
+	for _, n := range []string{"c", "a", "b", "e", "d"} {
+		b.Switches[n] = SwitchBundle{Rules: []RuleJSON{{Tag: 1, In: 1, Out: 2, NewTag: 1}}}
+		names = append(names, n)
+	}
+	g1 := GroupIdentical(b, names)
+	g2 := GroupIdentical(b, []string{"e", "d", "c", "b", "a"})
+	if !reflect.DeepEqual(g1, g2) {
+		t.Fatal("grouping depends on input order")
+	}
+	if len(g1) != 1 || !reflect.DeepEqual(g1[0].Switches, []string{"a", "b", "c", "d", "e"}) {
+		t.Fatalf("unexpected grouping: %+v", g1)
+	}
+}

@@ -1,0 +1,242 @@
+// Package fingerprint computes canonical content hashes of topologies,
+// ELP path sets and synthesis options — the keys of the synthesis cache
+// (internal/synthcache).
+//
+// The central object is the Canon: a canonical ordering of a graph's
+// nodes plus a SHA-256 fingerprint of the graph relabeled into that
+// order. Node IDs never enter the fingerprint, so two graphs that differ
+// only by a permutation of their node IDs (same wiring, same kinds and
+// layers, same port numbering) hash equal whenever canonicalization
+// assigns them the same order. The ordering is computed by
+// Weisfeiler-Leman color refinement with node-name tie-breaks, which
+// makes it exact for graphs built by the deterministic topology builders
+// and best-effort for hand-built isomorphic copies.
+//
+// Soundness does not depend on the ordering being perfect: the
+// fingerprint covers the complete relabeled structure, so (modulo a
+// SHA-256 collision) equal fingerprints imply the position-wise node map
+// between the two graphs is an isomorphism that preserves kinds, layers
+// and port numbers. An imperfect canonical order can only cause a cache
+// MISS for isomorphic graphs, never a false hit.
+//
+// Link health (Failed flags) is deliberately excluded from the graph
+// fingerprint: rule synthesis is a pure function of the wiring and the
+// ELP — failures enter only through the path set, which is hashed
+// separately (PathsSum) — so a cached system stays valid across link
+// flaps. Callers whose inputs DO depend on health (e.g. a cached path
+// enumeration) mix in HealthSum explicitly.
+package fingerprint
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// Fingerprint is a 256-bit content hash.
+type Fingerprint [sha256.Size]byte
+
+// String renders the first 12 hex digits — enough to log and compare by
+// eye, like an abbreviated git object name.
+func (f Fingerprint) String() string { return hex.EncodeToString(f[:6]) }
+
+// Canon is the canonical view of a graph: the fingerprint of its
+// relabeled encoding plus the node order that produced it.
+type Canon struct {
+	// FP hashes the relabeled structure (no names, no IDs, no health).
+	FP Fingerprint
+	// Order maps canonical position -> node ID.
+	Order []topology.NodeID
+	// Pos maps node ID -> canonical position (the inverse of Order).
+	Pos []int32
+	// NameSum hashes the node names in canonical order. Two graphs with
+	// equal FP and equal NameSum agree on naming as well as structure,
+	// which deployment bundles (keyed by switch name) care about.
+	NameSum Fingerprint
+}
+
+// mix64 is a splitmix64 finalizer: cheap, deterministic across runs.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// wlRounds bounds color refinement. Three rounds separate every node
+// class the repo's topology families produce; more rounds would only
+// sharpen the ordering (never change the fingerprint's soundness).
+const wlRounds = 3
+
+// Canonicalize computes the canonical order and fingerprint of g.
+func Canonicalize(g *topology.Graph) *Canon {
+	n := g.NumNodes()
+	colors := make([]uint64, n)
+	next := make([]uint64, n)
+	for _, id := range g.Nodes() {
+		nd := g.Node(id)
+		colors[id] = mix64(uint64(nd.Kind)<<40 ^ uint64(uint32(nd.Layer))<<8 ^ uint64(len(nd.Ports)))
+	}
+	// WL refinement: a node's new color mixes its own color with the
+	// per-port sequence of peer colors (port order is part of the
+	// structure — rules match on port numbers).
+	for round := 0; round < wlRounds; round++ {
+		for _, id := range g.Nodes() {
+			h := mix64(colors[id])
+			for _, pid := range g.Node(id).Ports {
+				p := g.Port(pid)
+				pc := uint64(0)
+				if p.Peer != topology.InvalidNode {
+					pc = colors[p.Peer]
+				}
+				h = mix64(h ^ pc)
+			}
+			next[id] = h
+		}
+		colors, next = next, colors
+	}
+
+	c := &Canon{
+		Order: make([]topology.NodeID, n),
+		Pos:   make([]int32, n),
+	}
+	for i := range c.Order {
+		c.Order[i] = topology.NodeID(i)
+	}
+	sort.Slice(c.Order, func(i, j int) bool {
+		a, b := c.Order[i], c.Order[j]
+		if colors[a] != colors[b] {
+			return colors[a] < colors[b]
+		}
+		return g.Node(a).Name < g.Node(b).Name
+	})
+	for pos, id := range c.Order {
+		c.Pos[id] = int32(pos)
+	}
+
+	// Encode the relabeled graph. Per node in canonical order: kind,
+	// layer, port count, then per port in number order the peer's
+	// canonical position and the peer-side port number. That pins the
+	// complete wiring including port numbering, which rule translation
+	// relies on.
+	buf := make([]byte, 0, 16+n*8+g.NumPorts()*4)
+	buf = binary.AppendUvarint(buf, uint64(n))
+	buf = binary.AppendUvarint(buf, uint64(g.NumLinks()))
+	buf = binary.AppendUvarint(buf, uint64(g.NumPorts()))
+	nameBuf := make([]byte, 0, n*8)
+	for _, id := range c.Order {
+		nd := g.Node(id)
+		buf = binary.AppendUvarint(buf, uint64(nd.Kind))
+		buf = binary.AppendVarint(buf, int64(nd.Layer))
+		buf = binary.AppendUvarint(buf, uint64(len(nd.Ports)))
+		for _, pid := range nd.Ports {
+			p := g.Port(pid)
+			if p.Peer == topology.InvalidNode {
+				buf = binary.AppendUvarint(buf, 0)
+				buf = binary.AppendUvarint(buf, 0)
+				continue
+			}
+			l := g.Link(p.Link)
+			peerPort := l.APort
+			if l.A == id {
+				peerPort = l.BPort
+			}
+			buf = binary.AppendUvarint(buf, uint64(c.Pos[p.Peer])+1)
+			buf = binary.AppendUvarint(buf, uint64(peerPort)+1)
+		}
+		nameBuf = append(nameBuf, nd.Name...)
+		nameBuf = append(nameBuf, 0)
+	}
+	c.FP = sha256.Sum256(buf)
+	c.NameSum = sha256.Sum256(nameBuf)
+	return c
+}
+
+// SameLabeling reports whether two canons assign the same node IDs and
+// names to every canonical position — i.e. the graphs are identical as
+// labeled structures, so cached state can be shared without translation.
+func SameLabeling(a, b *Canon) bool {
+	if a == b {
+		return true
+	}
+	if a.NameSum != b.NameSum || len(a.Order) != len(b.Order) {
+		return false
+	}
+	for i := range a.Order {
+		if a.Order[i] != b.Order[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PathsSum hashes a path sequence as node canonical positions. The
+// SEQUENCE is hashed, not the set: synthesis output is proven
+// order-independent only for the parallel decomposition, and hashing the
+// order keeps the key conservative (a reordered input is a different
+// key, never a wrong hit).
+func PathsSum(c *Canon, paths []routing.Path) Fingerprint {
+	size := 8
+	for _, p := range paths {
+		size += 2 + len(p)*3
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.AppendUvarint(buf, uint64(len(paths)))
+	for _, p := range paths {
+		buf = binary.AppendUvarint(buf, uint64(len(p)))
+		for _, n := range p {
+			buf = binary.AppendUvarint(buf, uint64(c.Pos[n]))
+		}
+	}
+	return sha256.Sum256(buf)
+}
+
+// HealthSum hashes the failed-link set as canonical position pairs.
+// Canonically sorted, so the flap history does not matter — only which
+// links are down right now.
+func HealthSum(c *Canon, g *topology.Graph) Fingerprint {
+	failed := g.FailedLinks()
+	pairs := make([][2]int32, 0, len(failed))
+	for _, lid := range failed {
+		l := g.Link(lid)
+		a, b := c.Pos[l.A], c.Pos[l.B]
+		if a > b {
+			a, b = b, a
+		}
+		pairs = append(pairs, [2]int32{a, b})
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+	buf := make([]byte, 0, 8+len(pairs)*6)
+	buf = binary.AppendUvarint(buf, uint64(len(pairs)))
+	for _, p := range pairs {
+		buf = binary.AppendUvarint(buf, uint64(p[0]))
+		buf = binary.AppendUvarint(buf, uint64(p[1]))
+	}
+	return sha256.Sum256(buf)
+}
+
+// Key combines a scheme label, integer parameters and component
+// fingerprints into one cache key.
+func Key(scheme string, params []int, parts ...Fingerprint) Fingerprint {
+	buf := make([]byte, 0, len(scheme)+1+len(params)*4+len(parts)*sha256.Size)
+	buf = append(buf, scheme...)
+	buf = append(buf, 0)
+	for _, v := range params {
+		buf = binary.AppendVarint(buf, int64(v))
+	}
+	for _, p := range parts {
+		buf = append(buf, p[:]...)
+	}
+	return sha256.Sum256(buf)
+}

@@ -1,0 +1,246 @@
+package fingerprint
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+
+	"repro/internal/topology"
+)
+
+// This file decomposes layered Clos/fat-tree fabrics into pods and
+// fingerprints each pod's quotient structure. Two pods with equal
+// fingerprints are positionally isomorphic — member i of one maps to
+// member i of the other preserving layers, kinds, intra-pod wiring,
+// host attachment, link health AND the attachment pattern to the shared
+// upper layer — which is exactly the license the synthesis cache needs
+// to enumerate paths for a representative pod pair and stamp the rest
+// out by dense-ID translation.
+//
+// Port NUMBERS are deliberately not part of the quotient: the pod
+// permutation only has to be an automorphism of (adjacency, layers,
+// kinds, health). Path enumeration never sees port numbers; stamped
+// rule-graph ports are recomputed from the mapped node pair with
+// PortToPeer, exactly as replay would; and the Clos rules themselves are
+// emitted over the full graph, never translated. Shared switches in
+// particular CANNOT have pod-symmetric port numbers (core c's port
+// toward pod p is allocated in pod order), so hashing them would make
+// every real fat-tree non-uniform.
+
+// Pod is one lower-layer component of a layered fabric.
+type Pod struct {
+	// Members holds the pod's switches in canonical member order
+	// (descending layer, then ascending node ID). Position in this slice
+	// is the identity the pod fingerprint speaks about.
+	Members []topology.NodeID
+	// FP is the pod's quotient fingerprint.
+	FP Fingerprint
+}
+
+// PodDecomposition is the result of Decompose.
+type PodDecomposition struct {
+	// Shared holds the switches every pod attaches to (layer >= 3:
+	// spines/cores), ascending by node ID.
+	Shared []topology.NodeID
+	// Pods holds the layer-1/2 connected components, ordered by smallest
+	// member node ID (construction order for the repo's builders).
+	Pods []Pod
+	// Uniform reports that there are at least two pods and every pod has
+	// the same fingerprint.
+	Uniform bool
+
+	podIdx    []int32 // node ID -> pod index, -1 for shared/hosts
+	memberPos []int32 // node ID -> position in its pod's Members
+	sharedIdx []int32 // node ID -> index into Shared, -1 otherwise
+}
+
+// PodOf returns the pod index of node id, or -1 for shared switches and
+// hosts.
+func (d *PodDecomposition) PodOf(id topology.NodeID) int { return int(d.podIdx[id]) }
+
+// MemberPos returns id's position inside its pod's Members, or -1 when
+// id is not a pod member.
+func (d *PodDecomposition) MemberPos(id topology.NodeID) int { return int(d.memberPos[id]) }
+
+// Decompose splits g into pods and a shared upper layer. It returns
+// ok=false when the graph is not a layered fabric of the expected shape:
+// every switch must carry layer 1..2 (pod) or >= 3 (shared), and pods
+// may reach each other only through the shared layer.
+func Decompose(g *topology.Graph) (*PodDecomposition, bool) {
+	n := g.NumNodes()
+	d := &PodDecomposition{
+		podIdx:    make([]int32, n),
+		memberPos: make([]int32, n),
+		sharedIdx: make([]int32, n),
+	}
+	for i := range d.podIdx {
+		d.podIdx[i] = -1
+		d.memberPos[i] = -1
+		d.sharedIdx[i] = -1
+	}
+
+	var podSwitches []topology.NodeID
+	for _, sw := range g.Switches() {
+		switch l := g.Node(sw).Layer; {
+		case l >= 3:
+			d.sharedIdx[sw] = int32(len(d.Shared))
+			d.Shared = append(d.Shared, sw)
+		case l == 1 || l == 2:
+			podSwitches = append(podSwitches, sw)
+		default:
+			return nil, false // unlayered (Jellyfish, BCube): no pods
+		}
+	}
+	if len(podSwitches) == 0 {
+		return nil, false
+	}
+
+	// Union-find over pod-switch adjacency (links between two pod
+	// switches, failed ones included — wiring, not health).
+	parent := make(map[topology.NodeID]topology.NodeID, len(podSwitches))
+	for _, sw := range podSwitches {
+		parent[sw] = sw
+	}
+	var find func(x topology.NodeID) topology.NodeID
+	find = func(x topology.NodeID) topology.NodeID {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for i := 0; i < g.NumLinks(); i++ {
+		l := g.Link(topology.LinkID(i))
+		_, aPod := parent[l.A]
+		_, bPod := parent[l.B]
+		if aPod && bPod {
+			parent[find(l.A)] = find(l.B)
+		}
+	}
+
+	// Group components; pods ordered by smallest member ID.
+	groups := make(map[topology.NodeID][]topology.NodeID)
+	for _, sw := range podSwitches { // g.Switches() is ID-ascending
+		groups[find(sw)] = append(groups[find(sw)], sw)
+	}
+	roots := make([]topology.NodeID, 0, len(groups))
+	for root := range groups {
+		roots = append(roots, root)
+	}
+	sort.Slice(roots, func(i, j int) bool { return groups[roots[i]][0] < groups[roots[j]][0] })
+
+	for pi, root := range roots {
+		members := groups[root]
+		// Canonical member order: descending layer, then ascending ID.
+		sort.Slice(members, func(i, j int) bool {
+			li, lj := g.Node(members[i]).Layer, g.Node(members[j]).Layer
+			if li != lj {
+				return li > lj
+			}
+			return members[i] < members[j]
+		})
+		for mi, sw := range members {
+			d.podIdx[sw] = int32(pi)
+			d.memberPos[sw] = int32(mi)
+		}
+		d.Pods = append(d.Pods, Pod{Members: members})
+	}
+
+	// Fingerprint each pod's quotient: per member in canonical order,
+	// per port in number order, the peer classified as intra-pod member
+	// position / shared index / host, with the link's health. Health IS
+	// included here — path enumeration (the thing pod stamping memoizes)
+	// routes around failed links.
+	for pi := range d.Pods {
+		p := &d.Pods[pi]
+		buf := make([]byte, 0, 64*len(p.Members))
+		buf = binary.AppendUvarint(buf, uint64(len(p.Members)))
+		for _, sw := range p.Members {
+			nd := g.Node(sw)
+			buf = binary.AppendUvarint(buf, uint64(nd.Kind))
+			buf = binary.AppendVarint(buf, int64(nd.Layer))
+			buf = binary.AppendUvarint(buf, uint64(len(nd.Ports)))
+			for _, pid := range nd.Ports {
+				pt := g.Port(pid)
+				if pt.Peer == topology.InvalidNode {
+					buf = append(buf, 0)
+					continue
+				}
+				failed := byte(0)
+				if g.Link(pt.Link).Failed {
+					failed = 1
+				}
+				switch {
+				case d.podIdx[pt.Peer] == int32(pi):
+					buf = append(buf, 1, failed)
+					buf = binary.AppendUvarint(buf, uint64(d.memberPos[pt.Peer]))
+				case d.sharedIdx[pt.Peer] >= 0:
+					buf = append(buf, 2, failed)
+					buf = binary.AppendUvarint(buf, uint64(d.sharedIdx[pt.Peer]))
+				case g.Node(pt.Peer).Kind == topology.KindHost:
+					buf = append(buf, 3, failed)
+				default:
+					// A direct link to another pod or to an unclassified
+					// node: not the shape we can stamp.
+					return nil, false
+				}
+			}
+		}
+		p.FP = sha256.Sum256(buf)
+	}
+
+	d.Uniform = len(d.Pods) >= 2
+	for i := 1; i < len(d.Pods); i++ {
+		if d.Pods[i].FP != d.Pods[0].FP {
+			d.Uniform = false
+			break
+		}
+	}
+	return d, true
+}
+
+// Translate returns the node map of the pod-permutation automorphism
+// described by podPerm (pod i's members map positionally onto pod
+// podPerm[i]'s; shared switches map to themselves). Hosts map to
+// InvalidNode — switch-level paths never contain them, and callers must
+// fall back to full synthesis if theirs do. Valid only when the
+// decomposition is Uniform (equal pod fingerprints license the
+// positional mapping).
+func (d *PodDecomposition) Translate(podPerm []int) []topology.NodeID {
+	out := make([]topology.NodeID, len(d.podIdx))
+	for i := range out {
+		out[i] = topology.InvalidNode
+	}
+	for _, sw := range d.Shared {
+		out[sw] = sw
+	}
+	for pi := range d.Pods {
+		src := d.Pods[pi].Members
+		dst := d.Pods[podPerm[pi]].Members
+		for mi, sw := range src {
+			out[sw] = dst[mi]
+		}
+	}
+	return out
+}
+
+// PodPerm builds the pod permutation sending pod 0 to p and pod 1 to q
+// (p != q), with the remaining pods bijected onto the remaining indices
+// in ascending order. Every ordered pod pair is reached this way, which
+// is how the stamper covers all inter-pod path buckets from the (0, 1)
+// representative.
+func PodPerm(numPods, p, q int) []int {
+	perm := make([]int, numPods)
+	used := make([]bool, numPods)
+	perm[0], perm[1] = p, q
+	used[p], used[q] = true, true
+	next := 0
+	for i := 2; i < numPods; i++ {
+		for used[next] {
+			next++
+		}
+		perm[i] = next
+		used[next] = true
+	}
+	return perm
+}

@@ -136,7 +136,18 @@ type Graph struct {
 	// node that faces peer. It makes PortToPeer and LinkBetween O(1);
 	// both are on the per-hop hot path of tagged-graph synthesis.
 	peerPort map[uint64]PortID
+	// gen counts wiring changes (AddNode, Connect). Link health changes
+	// (FailLink, RestoreLink) deliberately do not bump it: health is not
+	// wiring, and consumers that memoize wiring-derived state (the
+	// synthesis cache's canonical form) stay valid across flaps.
+	gen uint64
 }
+
+// Gen returns the wiring generation: a counter bumped by every AddNode
+// and Connect, but not by FailLink/RestoreLink. Two calls returning the
+// same value bracket a window in which the graph's nodes, ports and
+// links were unchanged (only link health may have moved).
+func (g *Graph) Gen() uint64 { return g.gen }
 
 // peerKey packs an ordered (node, peer) pair for the adjacency index.
 func peerKey(n, peer NodeID) uint64 {
@@ -161,6 +172,7 @@ func (g *Graph) AddNode(name string, kind Kind, layer int) NodeID {
 	id := NodeID(len(g.nodes))
 	g.nodes = append(g.nodes, Node{ID: id, Name: name, Kind: kind, Layer: layer})
 	g.byName[name] = id
+	g.gen++
 	return id
 }
 
@@ -204,6 +216,7 @@ func (g *Graph) Connect(a, b NodeID) LinkID {
 	if _, dup := g.peerPort[peerKey(b, a)]; !dup {
 		g.peerPort[peerKey(b, a)] = pb
 	}
+	g.gen++
 	return lid
 }
 
